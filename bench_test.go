@@ -1,0 +1,221 @@
+package dvicl
+
+// One testing.B benchmark per evaluation table of the paper (Tables 1–8),
+// plus micro-benchmarks for the hot kernels (refinement, DviCL build,
+// baseline search, SSM counting, triangle counting). The table benchmarks
+// run reduced configurations so `go test -bench=.` terminates in minutes;
+// cmd/benchtables regenerates the full tables (see EXPERIMENTS.md).
+
+import (
+	"testing"
+	"time"
+
+	"dvicl/internal/bench"
+	"dvicl/internal/canon"
+	"dvicl/internal/clique"
+	"dvicl/internal/coloring"
+	"dvicl/internal/core"
+	"dvicl/internal/gen"
+	"dvicl/internal/im"
+	"dvicl/internal/ssm"
+)
+
+// benchTableCfg is the reduced configuration for table benchmarks:
+// 1/100-scale stand-ins and short timeouts.
+func benchTableCfg() bench.Config {
+	return bench.Config{Scale: 100, Timeout: 15 * time.Second, MaxSubgraphs: 20000}
+}
+
+// smallSet restricts the expensive comparison tables to a representative
+// dataset subset (small, medium, web-like).
+var smallSet = []string{"wikivote", "Epinions", "Gnutella", "Slashdot0811"}
+
+func BenchmarkTable1_RealGraphSummary(b *testing.B) {
+	cfg := benchTableCfg()
+	for i := 0; i < b.N; i++ {
+		bench.Table1(cfg)
+	}
+}
+
+func BenchmarkTable2_BenchmarkSummary(b *testing.B) {
+	cfg := benchTableCfg()
+	cfg.Datasets = []string{"ag2-49", "cfi-200", "grid-w-3-20", "mz-aug-50", "fpga11-20-uns-rcr", "s3-3-3-10"}
+	for i := 0; i < b.N; i++ {
+		bench.Table2(cfg)
+	}
+}
+
+func BenchmarkTable3_AutoTreeReal(b *testing.B) {
+	cfg := benchTableCfg()
+	for i := 0; i < b.N; i++ {
+		bench.Table3(cfg)
+	}
+}
+
+func BenchmarkTable4_AutoTreeBenchmark(b *testing.B) {
+	cfg := benchTableCfg()
+	cfg.Datasets = []string{"cfi-200", "mz-aug-50", "fpga11-20-uns-rcr", "s3-3-3-10", "grid-w-3-20"}
+	for i := 0; i < b.N; i++ {
+		bench.Table4(cfg)
+	}
+}
+
+func BenchmarkTable5_XvsDviCLReal(b *testing.B) {
+	cfg := benchTableCfg()
+	cfg.Datasets = smallSet
+	for i := 0; i < b.N; i++ {
+		bench.Table5(cfg)
+	}
+}
+
+func BenchmarkTable6_SSMOnIMSeeds(b *testing.B) {
+	cfg := benchTableCfg()
+	for i := 0; i < b.N; i++ {
+		bench.Table6(cfg)
+	}
+}
+
+func BenchmarkTable7_SubgraphClustering(b *testing.B) {
+	cfg := benchTableCfg()
+	cfg.Datasets = smallSet
+	for i := 0; i < b.N; i++ {
+		bench.Table7(cfg)
+	}
+}
+
+func BenchmarkTable8_XvsDviCLBenchmark(b *testing.B) {
+	cfg := benchTableCfg()
+	cfg.Datasets = []string{"cfi-200", "grid-w-3-20", "mz-aug-50", "fpga11-20-uns-rcr", "s3-3-3-10"}
+	for i := 0; i < b.N; i++ {
+		bench.Table8(cfg)
+	}
+}
+
+// ---- micro-benchmarks ----
+
+func benchGraph(b *testing.B, name string, scale int) *Graph {
+	b.Helper()
+	d, err := gen.FindDataset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Build(scale)
+}
+
+func BenchmarkRefinement(b *testing.B) {
+	g := benchGraph(b, "Epinions", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := coloring.Unit(g.N())
+		c.Refine(g, nil)
+	}
+}
+
+func BenchmarkDviCLBuildSocial(b *testing.B) {
+	g := benchGraph(b, "Epinions", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Build(g, nil, core.Options{})
+	}
+}
+
+func BenchmarkDviCLBuildTwinsOff(b *testing.B) {
+	// Ablation: Section 6.1's structural-equivalence simplification off.
+	g := benchGraph(b, "Epinions", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Build(g, nil, core.Options{DisableTwinSimplification: true})
+	}
+}
+
+func BenchmarkBaselineBliss(b *testing.B) {
+	g := benchGraph(b, "wikivote", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.Canonical(g, nil, canon.Options{Policy: canon.PolicyBliss})
+	}
+}
+
+func BenchmarkBaselineOnCFI(b *testing.B) {
+	g := gen.CFI(gen.CirculantCubic(40), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.Canonical(g, nil, canon.Options{Policy: canon.PolicyBliss})
+	}
+}
+
+func BenchmarkSSMCountImages(b *testing.B) {
+	g := benchGraph(b, "Epinions", 20)
+	tree := core.Build(g, nil, core.Options{})
+	ix := ssm.NewIndex(tree)
+	model := im.NewIC(g, 0.05, 32, 1)
+	seeds := model.Greedy(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.CountImages(seeds)
+	}
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	g := benchGraph(b, "Epinions", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clique.CountTriangles(g)
+	}
+}
+
+func BenchmarkMaxClique(b *testing.B) {
+	g := benchGraph(b, "wikivote", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clique.MaxClique(g)
+	}
+}
+
+func BenchmarkPG2Generation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.PG2(9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDviCLNoDivideS(b *testing.B) {
+	// Ablation: DivideI only (no clique/biclique division).
+	g := benchGraph(b, "Epinions", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Build(g, nil, core.Options{DisableDivideS: true})
+	}
+}
+
+func BenchmarkRandomIso(b *testing.B) {
+	// Average-case isomorphism testing on random graphs (the classical
+	// easy case): build, shuffle, decide.
+	g := gen.ErdosRenyi(2000, 8000, 13)
+	h := g.Permute(randPerm(2000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(g, h) {
+			b.Fatal("iso pair rejected")
+		}
+	}
+}
+
+func randPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	// Deterministic Fisher–Yates with a fixed LCG (no math/rand in the
+	// hot path of the benchmark setup).
+	state := uint64(88172645463325252)
+	for i := n - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,63 @@
+// Command benchtables regenerates the paper's evaluation tables (Section
+// 7, Tables 1–8) on the synthetic workloads.
+//
+// Usage:
+//
+//	benchtables [-table all|1|2|...|8] [-scale 20] [-timeout 60s]
+//	            [-datasets wikivote,Epinions] [-maxsubgraphs 200000]
+//
+// Real-graph stand-ins are generated at 1/scale of the paper's sizes;
+// shapes (who wins, where timeouts fall), not absolute seconds, are the
+// comparison target. See EXPERIMENTS.md for recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dvicl/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate (1-8 or all)")
+	scale := flag.Int("scale", 20, "divide the paper's real-graph sizes by this factor")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-algorithm budget (stands in for the paper's 2h)")
+	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all)")
+	maxSubgraphs := flag.Int("maxsubgraphs", 200000, "cap on triangles/cliques clustered in table 7")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:        *scale,
+		Timeout:      *timeout,
+		MaxSubgraphs: *maxSubgraphs,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	runners := map[string]func(bench.Config) bench.Table{
+		"1": bench.Table1, "2": bench.Table2,
+		"3": bench.Table3, "4": bench.Table4,
+		"5": bench.Table5, "6": bench.Table6,
+		"7": bench.Table7, "8": bench.Table8,
+	}
+	var order []string
+	if *table == "all" {
+		order = []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	} else {
+		if _, ok := runners[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "benchtables: unknown table %q (want 1-8 or all)\n", *table)
+			os.Exit(2)
+		}
+		order = []string{*table}
+	}
+	for _, id := range order {
+		start := time.Now()
+		t := runners[id](cfg)
+		fmt.Println(t.Format())
+		fmt.Printf("(table %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

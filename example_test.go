@@ -1,0 +1,79 @@
+package dvicl_test
+
+import (
+	"fmt"
+
+	"dvicl"
+)
+
+// ExampleIsomorphic shows the canonical-certificate isomorphism test on a
+// pair that degree sequences alone cannot separate.
+func ExampleIsomorphic() {
+	c6 := dvicl.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	twoTriangles := dvicl.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	relabeled := c6.Permute([]int{3, 0, 5, 1, 4, 2})
+
+	fmt.Println(dvicl.Isomorphic(c6, twoTriangles))
+	fmt.Println(dvicl.Isomorphic(c6, relabeled))
+	// Output:
+	// false
+	// true
+}
+
+// ExampleBuildAutoTree demonstrates the AutoTree on the paper's running
+// example (Fig. 1(a)).
+func ExampleBuildAutoTree() {
+	g := dvicl.FromEdges(8, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{4, 5}, {5, 6}, {6, 4},
+		{0, 7}, {1, 7}, {2, 7}, {3, 7}, {4, 7}, {5, 7}, {6, 7},
+	})
+	tree := dvicl.BuildAutoTree(g, nil, dvicl.Options{})
+	fmt.Println("|Aut| =", tree.AutOrder())
+	for _, orbit := range tree.Orbits() {
+		fmt.Println("orbit:", orbit)
+	}
+	// Output:
+	// |Aut| = 48
+	// orbit: [0 1 2 3]
+	// orbit: [4 5 6]
+	// orbit: [7]
+}
+
+// ExampleSSMIndex_CountImages counts symmetric counterparts of a vertex
+// set — the paper's seed-set application.
+func ExampleSSMIndex_CountImages() {
+	// A hub with 6 interchangeable pendants.
+	g := dvicl.FromEdges(7, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}})
+	ix := dvicl.NewSSMIndex(dvicl.BuildAutoTree(g, nil, dvicl.Options{}))
+	fmt.Println(ix.CountImages([]int{1}))       // any single pendant
+	fmt.Println(ix.CountImages([]int{1, 2}))    // any pendant pair: C(6,2)
+	fmt.Println(ix.CountImages([]int{0, 1, 2})) // hub + pair
+	// Output:
+	// 6
+	// 15
+	// 15
+}
+
+// ExampleAutomorphismGroup extracts generators and verifies one.
+func ExampleAutomorphismGroup() {
+	p4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	gens, order := dvicl.AutomorphismGroup(p4)
+	fmt.Println("order:", order)
+	fmt.Println("generator:", gens[0])
+	// Output:
+	// order: 2
+	// generator: (0,3)(1,2)
+}
+
+// ExampleColoringFromCells shows colored-graph (labeled-vertex)
+// isomorphism: colors restrict which vertices may map to which.
+func ExampleColoringFromCells() {
+	c4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	plain := dvicl.BuildAutoTree(c4, nil, dvicl.Options{})
+	pi, _ := dvicl.ColoringFromCells(4, [][]int{{0, 2}, {1, 3}})
+	colored := dvicl.BuildAutoTree(c4, pi, dvicl.Options{})
+	fmt.Println(plain.AutOrder(), colored.AutOrder())
+	// Output:
+	// 8 4
+}

@@ -1,0 +1,76 @@
+// Database indexing / deduplication (application (a) of the paper's
+// introduction): assign every graph in a collection a certificate such
+// that two graphs are isomorphic iff they share the certificate, then
+// group a collection of randomly relabeled "molecules" by isomorphism
+// class.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+
+	"dvicl"
+)
+
+// molecule templates: a few small structures that stand in for chemical
+// compounds.
+func templates() []*dvicl.Graph {
+	return []*dvicl.Graph{
+		// chain of 6
+		dvicl.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}),
+		// 6-ring
+		dvicl.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}),
+		// ring with a pendant (phenol-ish)
+		dvicl.FromEdges(7, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 6}}),
+		// two triangles sharing a vertex
+		dvicl.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}}),
+		// star
+		dvicl.FromEdges(6, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}),
+	}
+}
+
+func main() {
+	r := rand.New(rand.NewSource(2021))
+	base := templates()
+
+	// A "database" of 200 graphs: random templates under random
+	// relabelings.
+	var db []*dvicl.Graph
+	origin := make([]int, 0, 200)
+	for i := 0; i < 200; i++ {
+		ti := r.Intn(len(base))
+		g := base[ti].Permute(r.Perm(base[ti].N()))
+		db = append(db, g)
+		origin = append(origin, ti)
+	}
+
+	// Index by canonical certificate.
+	index := map[string][]int{}
+	for i, g := range db {
+		cert := string(dvicl.CanonicalCert(g, nil, dvicl.Options{}))
+		index[cert] = append(index[cert], i)
+	}
+
+	fmt.Printf("database: %d graphs, %d isomorphism classes\n", len(db), len(index))
+	if len(index) != len(base) {
+		fmt.Println("ERROR: expected one class per template")
+	}
+
+	// Verify each class is homogeneous in its template of origin.
+	for cert, members := range index {
+		t := origin[members[0]]
+		for _, m := range members {
+			if origin[m] != t {
+				fmt.Println("ERROR: mixed class", cert)
+			}
+		}
+		sum := sha256.Sum256([]byte(cert))
+		fmt.Printf("class of template %d: %d copies (cert %x…)\n", t, len(members), sum[:6])
+	}
+
+	// Point lookup: is this new graph already in the database?
+	probe := base[2].Permute(r.Perm(base[2].N()))
+	cert := string(dvicl.CanonicalCert(probe, nil, dvicl.Options{}))
+	fmt.Printf("probe found in database: %v\n", len(index[cert]) > 0)
+}

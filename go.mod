@@ -1,0 +1,3 @@
+module dvicl
+
+go 1.24

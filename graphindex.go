@@ -1,0 +1,63 @@
+package dvicl
+
+import (
+	"sync"
+)
+
+// GraphIndex is a canonical-certificate index over a collection of graphs
+// — the paper's database-indexing application (introduction, (a)): every
+// graph receives a certificate such that two graphs are isomorphic iff
+// they share it, so duplicate detection and isomorphism lookup become
+// map operations. Safe for concurrent use.
+type GraphIndex struct {
+	mu      sync.RWMutex
+	classes map[string][]int // certificate -> ids, insertion order
+	certs   []string         // id -> certificate
+	opt     Options
+}
+
+// NewGraphIndex returns an empty index. opt configures the underlying
+// DviCL runs (zero value is fine).
+func NewGraphIndex(opt Options) *GraphIndex {
+	return &GraphIndex{classes: make(map[string][]int), opt: opt}
+}
+
+// Add inserts a graph and returns its id and whether an isomorphic graph
+// was already present.
+func (ix *GraphIndex) Add(g *Graph) (id int, duplicate bool) {
+	cert := ix.certOf(g)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id = len(ix.certs)
+	ix.certs = append(ix.certs, cert)
+	members := ix.classes[cert]
+	ix.classes[cert] = append(members, id)
+	return id, len(members) > 0
+}
+
+// Lookup returns the ids of the stored graphs isomorphic to g.
+func (ix *GraphIndex) Lookup(g *Graph) []int {
+	cert := ix.certOf(g)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]int(nil), ix.classes[cert]...)
+}
+
+// Len returns the number of stored graphs; Classes the number of
+// isomorphism classes.
+func (ix *GraphIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.certs)
+}
+
+// Classes returns the number of distinct isomorphism classes stored.
+func (ix *GraphIndex) Classes() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.classes)
+}
+
+func (ix *GraphIndex) certOf(g *Graph) string {
+	return string(CanonicalCert(g, nil, ix.opt))
+}

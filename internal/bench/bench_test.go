@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyCfg keeps harness tests fast: 1/400-scale graphs, one dataset.
+func tinyCfg(datasets ...string) Config {
+	return Config{Scale: 400, Timeout: 5 * time.Second, MaxSubgraphs: 2000, Datasets: datasets}
+}
+
+func TestMeasureReportsCompletion(t *testing.T) {
+	m := Measure(func() bool { return true })
+	if m.TimedOut {
+		t.Fatal("completed run marked timed out")
+	}
+	m = Measure(func() bool { return false })
+	if !m.TimedOut {
+		t.Fatal("truncated run not marked")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "xxx") || !strings.Contains(out, "---") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestConfigDatasetFilter(t *testing.T) {
+	cfg := Config{Datasets: []string{"WikiVote"}}
+	if !cfg.wants("wikivote") {
+		t.Fatal("filter should be case-insensitive")
+	}
+	if cfg.wants("Amazon") {
+		t.Fatal("filter should exclude others")
+	}
+	if !(Config{}).wants("anything") {
+		t.Fatal("empty filter should match all")
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	tb := Table1(tinyCfg("wikivote", "Gnutella"))
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "Gnutella" && tb.Rows[0][0] != "wikivote" {
+		t.Fatalf("unexpected first row %v", tb.Rows[0])
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	tb := Table3(tinyCfg("wikivote"))
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 6 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestTable5RowShape(t *testing.T) {
+	tb := Table5(tinyCfg("wikivote"))
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// 1 name column + 6 algorithms × 2 cells.
+	if len(tb.Rows[0]) != 13 {
+		t.Fatalf("row width = %d, want 13", len(tb.Rows[0]))
+	}
+}
+
+func TestTable6And7Run(t *testing.T) {
+	t6 := Table6(tinyCfg("wikivote"))
+	if len(t6.Rows) != 1 || len(t6.Rows[0]) != 5 {
+		t.Fatalf("table6 rows = %v", t6.Rows)
+	}
+	t7 := Table7(tinyCfg("wikivote"))
+	if len(t7.Rows) != 1 || len(t7.Rows[0]) != 7 {
+		t.Fatalf("table7 rows = %v", t7.Rows)
+	}
+}
+
+func TestFmtBig(t *testing.T) {
+	if got := fmtBig("123"); got != "123" {
+		t.Fatalf("fmtBig(123) = %q", got)
+	}
+	if got := fmtBig("8820000000000000"); got != "8.82E15" {
+		t.Fatalf("fmtBig = %q", got)
+	}
+}

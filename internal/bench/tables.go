@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dvicl/internal/canon"
+	"dvicl/internal/clique"
+	"dvicl/internal/core"
+	"dvicl/internal/gen"
+	"dvicl/internal/graph"
+	"dvicl/internal/im"
+	"dvicl/internal/ssm"
+)
+
+// Table1 regenerates the real-graph summary (paper Table 1): sizes,
+// degrees, and the orbit-coloring cell counts, side by side with the
+// paper's reported values for the full-size originals.
+func Table1(cfg Config) Table {
+	t := Table{
+		Title: fmt.Sprintf("Table 1: real-graph stand-ins at 1/%d scale (paper values for the full-size originals in parentheses)", cfg.Scale),
+		Header: []string{"Graph", "|V|", "|E|", "dmax", "davg", "cells", "singleton",
+			"paper |V|", "paper cells/|V|", "ours cells/|V|"},
+	}
+	for _, d := range gen.RealDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(cfg.Scale)
+		tree := core.Build(g, nil, core.Options{})
+		cells, singles := tree.OrbitStats()
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprint(g.N()), fmt.Sprint(g.M()),
+			fmt.Sprint(g.MaxDegree()), fmt.Sprintf("%.2f", g.AvgDegree()),
+			fmt.Sprint(cells), fmt.Sprint(singles),
+			fmt.Sprint(d.Paper.N),
+			fmt.Sprintf("%.2f", float64(d.Paper.Cells)/float64(d.Paper.N)),
+			fmt.Sprintf("%.2f", float64(cells)/float64(g.N())),
+		})
+	}
+	return t
+}
+
+// Table2 regenerates the benchmark-graph summary (paper Table 2).
+func Table2(cfg Config) Table {
+	t := Table{
+		Title:  "Table 2: benchmark graphs (paper values in the trailing columns)",
+		Header: []string{"Graph", "|V|", "|E|", "dmax", "davg", "cells", "singleton", "paper |V|", "paper |E|", "paper cells"},
+	}
+	for _, d := range gen.BenchmarkDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(1)
+		tree := core.Build(g, nil, core.Options{LeafTimeout: cfg.Timeout})
+		cells, singles := tree.OrbitStats()
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprint(g.N()), fmt.Sprint(g.M()),
+			fmt.Sprint(g.MaxDegree()), fmt.Sprintf("%.2f", g.AvgDegree()),
+			fmt.Sprint(cells), fmt.Sprint(singles),
+			fmt.Sprint(d.Paper.N), fmt.Sprint(d.Paper.M), fmt.Sprint(d.Paper.Cells),
+		})
+	}
+	return t
+}
+
+func autotreeRow(name string, tree *core.Tree) []string {
+	s := tree.Stats()
+	return []string{
+		name,
+		fmt.Sprint(s.Nodes),
+		fmt.Sprint(s.SingletonLeaves),
+		fmt.Sprint(s.NonSingletonLeaves),
+		fmt.Sprintf("%.2f", s.AvgLeafSize),
+		fmt.Sprint(s.Depth),
+	}
+}
+
+// Table3 regenerates the AutoTree structure of the real-graph stand-ins
+// (paper Table 3).
+func Table3(cfg Config) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Table 3: AutoTree structure, real-graph stand-ins at 1/%d scale", cfg.Scale),
+		Header: []string{"Graph", "|V(AT)|", "singleton", "non-singleton", "avg size", "depth"},
+	}
+	for _, d := range gen.RealDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(cfg.Scale)
+		tree := core.Build(g, nil, core.Options{})
+		t.Rows = append(t.Rows, autotreeRow(d.Name, tree))
+	}
+	return t
+}
+
+// Table4 regenerates the AutoTree structure of the benchmark graphs
+// (paper Table 4).
+func Table4(cfg Config) Table {
+	t := Table{
+		Title:  "Table 4: AutoTree structure, benchmark graphs",
+		Header: []string{"Graph", "|V(AT)|", "singleton", "non-singleton", "avg size", "depth"},
+	}
+	for _, d := range gen.BenchmarkDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(1)
+		tree := core.Build(g, nil, core.Options{LeafTimeout: cfg.Timeout})
+		t.Rows = append(t.Rows, autotreeRow(d.Name, tree))
+	}
+	return t
+}
+
+// policies is the X lineup of Tables 5 and 8.
+var policies = []canon.Policy{canon.PolicyNauty, canon.PolicyTraces, canon.PolicyBliss}
+
+// runComparison measures X and DviCL+X for every policy on one graph.
+func runComparison(g *graph.Graph, timeout time.Duration) []string {
+	var cells []string
+	for _, pol := range policies {
+		// X alone.
+		var res canon.Result
+		m := Measure(func() bool {
+			res = canon.Canonical(g, nil, canon.Options{Policy: pol, Deadline: time.Now().Add(timeout)})
+			return !res.Truncated
+		})
+		if m.TimedOut {
+			cells = append(cells, "-", "-")
+		} else {
+			cells = append(cells, fmtDur(m.Time), fmtMB(m.PeakMB))
+		}
+		// DviCL+X.
+		var tree *core.Tree
+		m = Measure(func() bool {
+			tree = core.Build(g, nil, core.Options{LeafPolicy: pol, LeafTimeout: timeout})
+			return !tree.Truncated
+		})
+		if m.TimedOut || m.Time > timeout {
+			cells = append(cells, "-", "-")
+		} else {
+			cells = append(cells, fmtDur(m.Time), fmtMB(m.PeakMB))
+		}
+	}
+	return cells
+}
+
+func comparisonHeader() []string {
+	h := []string{"Graph"}
+	for _, pol := range policies {
+		h = append(h,
+			pol.String()+" t", pol.String()+" MB",
+			"DviCL+"+pol.String()[:1]+" t", "DviCL+"+pol.String()[:1]+" MB")
+	}
+	return h
+}
+
+// Table5 regenerates the six-algorithm time/memory comparison on the
+// real-graph stand-ins (paper Table 5). "-" marks a timeout, like the
+// paper's two-hour limit.
+func Table5(cfg Config) Table {
+	t := Table{
+		Title: fmt.Sprintf("Table 5: X vs DviCL+X on real-graph stand-ins (1/%d scale, %v timeout; seconds / MiB)",
+			cfg.Scale, cfg.Timeout),
+		Header: comparisonHeader(),
+	}
+	for _, d := range gen.RealDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(cfg.Scale)
+		t.Rows = append(t.Rows, append([]string{d.Name}, runComparison(g, cfg.Timeout)...))
+	}
+	return t
+}
+
+// Table8 regenerates the comparison on the benchmark graphs (paper
+// Table 8; the paper reports time only, we add memory for free).
+func Table8(cfg Config) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Table 8: X vs DviCL+X on benchmark graphs (%v timeout; seconds / MiB)", cfg.Timeout),
+		Header: comparisonHeader(),
+	}
+	for _, d := range gen.BenchmarkDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(1)
+		t.Rows = append(t.Rows, append([]string{d.Name}, runComparison(g, cfg.Timeout)...))
+	}
+	return t
+}
+
+// Table6 regenerates the SSM-on-IM-seeds experiment (paper Table 6): for
+// seed sets of size 10 and 100 found by the PMC-style greedy, count the
+// candidate seed sets symmetric to them, and time the counting.
+func Table6(cfg Config) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Table 6: symmetric seed sets for IM seeds (1/%d scale)", cfg.Scale),
+		Header: []string{"Graph", "|S|=10 number", "time", "|S|=100 number", "time"},
+	}
+	for _, d := range gen.RealDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(cfg.Scale)
+		tree := core.Build(g, nil, core.Options{})
+		ix := ssm.NewIndex(tree)
+		// IC probability as in the paper's setup: constant per edge.
+		model := im.NewIC(g, 0.05, 64, 42)
+		row := []string{d.Name}
+		for _, k := range []int{10, 100} {
+			seeds := model.Greedy(k)
+			start := time.Now()
+			count := ix.CountImages(seeds)
+			elapsed := time.Since(start)
+			row = append(row, fmtBig(count.String()), fmtDur(elapsed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table7 regenerates the subgraph-clustering experiment (paper Table 7):
+// all maximum cliques and all triangles are clustered into symmetry
+// classes via the AutoTree's pattern keys.
+func Table7(cfg Config) Table {
+	t := Table{
+		Title: fmt.Sprintf("Table 7: subgraph clustering by SSM (1/%d scale, ≤%d subgraphs per kind)",
+			cfg.Scale, cfg.MaxSubgraphs),
+		Header: []string{"Graph", "cliques", "clusters", "max", "triangles", "clusters", "max"},
+	}
+	for _, d := range gen.RealDatasets() {
+		if !cfg.wants(d.Name) {
+			continue
+		}
+		g := d.Build(cfg.Scale)
+		tree := core.Build(g, nil, core.Options{})
+		ix := ssm.NewIndex(tree)
+
+		cluster := func(sets [][]int) (clusters, max int) {
+			counts := map[string]int{}
+			for _, s := range sets {
+				counts[ix.PatternKey(s)]++
+			}
+			for _, c := range counts {
+				if c > max {
+					max = c
+				}
+			}
+			return len(counts), max
+		}
+
+		_, cliques := clique.MaxCliques(g, cfg.MaxSubgraphs)
+		cc, cm := cluster(cliques)
+
+		var triangles [][]int
+		clique.Triangles(g, func(a, b, c int) {
+			if cfg.MaxSubgraphs > 0 && len(triangles) >= cfg.MaxSubgraphs {
+				return
+			}
+			triangles = append(triangles, []int{a, b, c})
+		})
+		tc, tm := cluster(triangles)
+
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprint(len(cliques)), fmt.Sprint(cc), fmt.Sprint(cm),
+			fmt.Sprint(len(triangles)), fmt.Sprint(tc), fmt.Sprint(tm),
+		})
+	}
+	return t
+}

@@ -1,0 +1,528 @@
+// Package canon implements a canonical-labeling algorithm of the
+// individualization–refinement family described in Section 4 of the paper:
+// a backtrack search tree whose nodes are equitable colorings, with a
+// target cell selector T, a node invariant φ (the refinement trace), the
+// three prunings P_A (first-path), P_B (best-path) and P_C (orbit), and
+// automorphism discovery against the leftmost leaf.
+//
+// It plays the role of nauty, bliss and traces in the paper's evaluation.
+// The three tools differ chiefly in their target cell selector, so this
+// package exposes the three published policies and the benchmark harness
+// runs all of them, like Table 5 and Table 8 do.
+package canon
+
+import (
+	"bytes"
+	"encoding/binary"
+	"time"
+
+	"dvicl/internal/coloring"
+	"dvicl/internal/graph"
+	"dvicl/internal/perm"
+)
+
+// Policy selects the target cell selector T.
+type Policy int
+
+const (
+	// PolicyBliss individualizes in the first non-singleton cell,
+	// regardless of size (the choice of Kocay [18] that bliss follows).
+	PolicyBliss Policy = iota
+	// PolicyNauty individualizes in the first smallest non-singleton cell
+	// (nauty's default [26]).
+	PolicyNauty
+	// PolicyTraces individualizes in the largest non-singleton cell
+	// (ties broken by position), echoing traces' preference for wide,
+	// shallow trees.
+	PolicyTraces
+)
+
+// String names the policy after the tool it emulates.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBliss:
+		return "bliss"
+	case PolicyNauty:
+		return "nauty"
+	case PolicyTraces:
+		return "traces"
+	}
+	return "unknown"
+}
+
+// Options configures the search.
+type Options struct {
+	Policy Policy
+	// MaxNodes bounds the number of search-tree nodes visited; 0 means
+	// unlimited. When exceeded, Result.Truncated is set and the labeling
+	// must not be used as a canonical form (a deterministic analogue of
+	// the paper's two-hour timeout).
+	MaxNodes int64
+	// Deadline, when non-zero, aborts the search at the given wall-clock
+	// time — the benchmark harness's equivalent of the paper's timeout.
+	Deadline time.Time
+	// AutomorphismsOnly skips the canonical-form bookkeeping and explores
+	// only subtrees that can yield automorphisms against the first leaf —
+	// the mode of the paper's saucy [9], which "only finds graph
+	// symmetries". Result.Canon/Cert are then unspecified.
+	AutomorphismsOnly bool
+}
+
+// Result is the outcome of a canonical-labeling search.
+type Result struct {
+	// Canon is the canonical labeling γ*: relabeling g by Canon yields the
+	// canonical form.
+	Canon perm.Perm
+	// Cert is the certificate of the canonical form: two colored graphs
+	// are isomorphic iff their Certs are equal (Section 2's definition of
+	// a canonical representative).
+	Cert []byte
+	// Generators generate the automorphism group Aut(G, π).
+	Generators []perm.Perm
+	// Nodes is the number of search-tree nodes visited.
+	Nodes int64
+	// Leaves is the number of leaves (discrete colorings) reached.
+	Leaves int64
+	// Truncated reports that MaxNodes was hit; Canon/Cert are then
+	// best-effort only.
+	Truncated bool
+}
+
+// Canonical computes the canonical labeling of the colored graph (g, pi).
+// pi may be nil for the unit coloring. pi is not modified.
+func Canonical(g *graph.Graph, pi *coloring.Coloring, opt Options) Result {
+	n := g.N()
+	if pi == nil {
+		pi = coloring.Unit(n)
+	} else {
+		pi = pi.Clone()
+	}
+	s := &search{g: g, opt: opt, n: n, rootCells: cellSizes(pi), backjump: -1}
+	rootTrace := pi.Refine(g, nil)
+	s.run(pi, []uint64{rootTrace}, nil)
+	res := Result{
+		Generators: s.gens,
+		Nodes:      s.nodes,
+		Leaves:     s.leaves,
+		Truncated:  s.truncated,
+	}
+	if s.best != nil {
+		res.Canon = s.best.gamma
+		res.Cert = s.best.cert
+	}
+	return res
+}
+
+// leaf records a discrete coloring reached by the search.
+type leaf struct {
+	gamma perm.Perm
+	cert  []byte
+	trace []uint64
+	path  []int
+}
+
+type search struct {
+	g         *graph.Graph
+	opt       Options
+	n         int
+	rootCells []int
+
+	first *leaf // leftmost leaf: reference for automorphism discovery (P_A)
+	best  *leaf // current canonical candidate (P_B)
+
+	gens      []perm.Perm
+	genSet    map[string]bool // packed-image dedup keys of gens
+	nodes     int64
+	leaves    int64
+	truncated bool
+	// backjump, when ≥ 0, unwinds the recursion to the node at that depth
+	// (bliss-style automorphism backjumping: after discovering an
+	// automorphism against the leftmost leaf, everything between the
+	// current position and the deepest common ancestor with the first
+	// path yields only derivable automorphisms).
+	backjump int
+}
+
+func cellSizes(c *coloring.Coloring) []int {
+	var sizes []int
+	for _, cell := range c.Cells() {
+		sizes = append(sizes, len(cell))
+	}
+	return sizes
+}
+
+// run explores the subtree rooted at the node with coloring c and path
+// trace vector trace. path holds the individualized vertices from the
+// root (the sequence ν of Section 4).
+func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
+	if s.truncated {
+		return
+	}
+	s.nodes++
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		s.truncated = true
+		return
+	}
+	if !s.opt.Deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.opt.Deadline) {
+		s.truncated = true
+		return
+	}
+	if c.IsDiscrete() {
+		s.visitLeaf(c, trace, path)
+		return
+	}
+	target := s.targetCell(c)
+	// Orbit pruning P_C: skip a candidate v if an automorphism discovered
+	// so far fixes the whole path and maps an already-explored candidate
+	// to v. The orbit partition is rebuilt lazily whenever new generators
+	// have arrived (they are discovered while exploring earlier children).
+	pruner := newOrbitPruner(s.n, path)
+	for _, v := range target {
+		if s.truncated {
+			return
+		}
+		if pruner.pruned(s.gens, v) {
+			continue
+		}
+		child := c.Clone()
+		sing, rest := child.Individualize(v)
+		t := child.Refine(s.g, []int{sing, rest})
+		level := len(trace)
+		childTrace := append(append([]uint64(nil), trace...), t)
+		if !s.keepChild(t, level) {
+			pruner.markExplored(v)
+			continue
+		}
+		s.run(child, childTrace, append(path, v))
+		pruner.markExplored(v)
+		if s.backjump >= 0 {
+			if len(path) > s.backjump {
+				return // keep unwinding to the common ancestor
+			}
+			s.backjump = -1 // we are the fork node: resume siblings
+		}
+	}
+}
+
+// orbitPruner maintains, for one search-tree node, the orbit partition of
+// the vertices under the discovered automorphisms that fix the node's
+// path pointwise (the subgroup relevant to P_C). It rebuilds only when
+// the global generator list has grown.
+type orbitPruner struct {
+	n        int
+	path     []int
+	genCount int
+	parent   []int
+	explored []int
+}
+
+func newOrbitPruner(n int, path []int) *orbitPruner {
+	return &orbitPruner{n: n, path: append([]int(nil), path...)}
+}
+
+func (o *orbitPruner) find(x int) int {
+	for o.parent[x] != x {
+		o.parent[x] = o.parent[o.parent[x]]
+		x = o.parent[x]
+	}
+	return x
+}
+
+// update applies any generators added since the last call to the orbit
+// union-find. Unions are monotone, so incorporating only the new
+// path-fixing generators is equivalent to a full rebuild but costs O(new
+// generators × n) instead of O(all generators × n).
+func (o *orbitPruner) update(gens []perm.Perm) {
+	if o.parent == nil {
+		o.parent = make([]int, o.n)
+		for i := range o.parent {
+			o.parent[i] = i
+		}
+		o.genCount = 0
+	}
+	for _, g := range gens[o.genCount:] {
+		if !fixesPath(g, o.path) {
+			continue
+		}
+		for v, img := range g {
+			if v != img {
+				ra, rb := o.find(v), o.find(img)
+				if ra != rb {
+					o.parent[rb] = ra
+				}
+			}
+		}
+	}
+	o.genCount = len(gens)
+}
+
+// pruned reports whether v shares an orbit with an already-explored
+// sibling candidate under the current path-fixing subgroup.
+func (o *orbitPruner) pruned(gens []perm.Perm, v int) bool {
+	if len(o.explored) == 0 || len(gens) == 0 {
+		return false
+	}
+	if len(gens) != o.genCount {
+		o.update(gens)
+	}
+	rv := o.find(v)
+	for _, u := range o.explored {
+		if o.find(u) == rv {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *orbitPruner) markExplored(v int) {
+	o.explored = append(o.explored, v)
+}
+
+// keepChild implements the invariant prunings P_A and P_B: a child is
+// explored iff its trace can still lead to an automorphism with the
+// leftmost leaf (trace equals the first path's at this level) or to the
+// canonical leaf (trace not greater than the best path's at this level).
+// A child whose trace is *smaller* than the best path's invalidates the
+// current best candidate (the canonical form is the minimum (trace, cert)
+// over all leaves).
+func (s *search) keepChild(t uint64, level int) bool {
+	matchFirst := s.first != nil && level < len(s.first.trace) && s.first.trace[level] == t
+	if s.opt.AutomorphismsOnly && s.first != nil {
+		return matchFirst
+	}
+	if s.best == nil {
+		return true
+	}
+	if level >= len(s.best.trace) {
+		// The best path is shallower; by the shorter-is-smaller rule this
+		// deeper subtree cannot beat it, but may still hold automorphisms.
+		return matchFirst
+	}
+	switch {
+	case t < s.best.trace[level]:
+		// Everything under this child lexicographically precedes the
+		// current best: the best is stale.
+		s.best = nil
+		return true
+	case t == s.best.trace[level]:
+		return true
+	default:
+		return matchFirst
+	}
+}
+
+// visitLeaf handles a discrete coloring: computes the leaf certificate,
+// discovers automorphisms against the reference leaves, and updates the
+// canonical candidate.
+func (s *search) visitLeaf(c *coloring.Coloring, trace []uint64, path []int) {
+	s.leaves++
+	gamma := perm.Perm(c.Perm())
+	cert := s.certificate(gamma)
+	l := &leaf{gamma: gamma, cert: cert, trace: append([]uint64(nil), trace...),
+		path: append([]int(nil), path...)}
+	if s.first == nil {
+		s.first = l
+	} else if bytes.Equal(cert, s.first.cert) {
+		if s.addAutomorphism(l.gamma, s.first.gamma) {
+			// Backjump to the deepest common ancestor with the first path.
+			cp := 0
+			for cp < len(l.path) && cp < len(s.first.path) && l.path[cp] == s.first.path[cp] {
+				cp++
+			}
+			s.backjump = cp
+		}
+	}
+	if s.best == nil {
+		s.best = l
+		return
+	}
+	cmp := compareLeaves(l, s.best)
+	switch {
+	case cmp < 0:
+		s.best = l
+	case cmp == 0 && bytes.Equal(cert, s.best.cert) && l != s.best:
+		// Same canonical candidate reached along a different path: an
+		// automorphism relating the two leaves.
+		s.addAutomorphism(l.gamma, s.best.gamma)
+	}
+}
+
+// compareLeaves orders leaves by (trace vector, certificate), with a
+// shorter trace comparing smaller when it is a prefix of the longer one.
+func compareLeaves(a, b *leaf) int {
+	for i := 0; i < len(a.trace) && i < len(b.trace); i++ {
+		if a.trace[i] != b.trace[i] {
+			if a.trace[i] < b.trace[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a.trace) != len(b.trace) {
+		if len(a.trace) < len(b.trace) {
+			return -1
+		}
+		return 1
+	}
+	return bytes.Compare(a.cert, b.cert)
+}
+
+// addAutomorphism records δ = γ' ∘ γ_ref⁻¹ (apply γ' first), the
+// automorphism implied by two leaves with identical certificates. It
+// reports whether a new non-identity generator was recorded. Deduplication
+// is by hash key so the cost stays linear in n however many generators a
+// symmetric graph produces.
+func (s *search) addAutomorphism(gammaNew, gammaRef perm.Perm) bool {
+	delta := gammaNew.Compose(gammaRef.Inverse())
+	if delta.IsIdentity() {
+		return false
+	}
+	key := permKey(delta)
+	if s.genSet == nil {
+		s.genSet = make(map[string]bool)
+	}
+	if s.genSet[key] {
+		return false
+	}
+	s.genSet[key] = true
+	s.gens = append(s.gens, delta)
+	return true
+}
+
+// permKey packs a permutation's images into a byte string for map keys.
+func permKey(p perm.Perm) string {
+	buf := make([]byte, 4*len(p))
+	for i, v := range p {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+func fixesPath(g perm.Perm, path []int) bool {
+	for _, v := range path {
+		if g[v] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// targetCell implements the selector T for the configured policy,
+// returning the chosen non-singleton cell's vertices in ascending order.
+func (s *search) targetCell(c *coloring.Coloring) []int {
+	var chosen []int
+	switch s.opt.Policy {
+	case PolicyBliss:
+		for _, cell := range c.Cells() {
+			if len(cell) > 1 {
+				return cell
+			}
+		}
+	case PolicyNauty:
+		for _, cell := range c.Cells() {
+			if len(cell) > 1 && (chosen == nil || len(cell) < len(chosen)) {
+				chosen = cell
+			}
+		}
+	case PolicyTraces:
+		for _, cell := range c.Cells() {
+			if len(cell) > 1 && len(cell) > len(chosen) {
+				chosen = cell
+			}
+		}
+	}
+	return chosen
+}
+
+// certificate encodes the canonical form (G^γ, π^γ): the root cell sizes
+// followed by the γ-relabeled, sorted edge list. Certificates of two
+// colored graphs are equal iff the colored graphs are identical after
+// relabeling, which is what Section 2 requires of a canonical
+// representative.
+func (s *search) certificate(gamma perm.Perm) []byte {
+	return EncodeCertificate(s.g, gamma, s.rootCells)
+}
+
+// EncodeCertificate serializes (n, cell sizes, sorted γ-image edge list)
+// into a byte string ordered consistently with the lexicographic edge-list
+// order the paper uses for G^γ.
+func EncodeCertificate(g *graph.Graph, gamma perm.Perm, rootCells []int) []byte {
+	n := g.N()
+	m := g.M()
+	buf := make([]byte, 0, 8*(2+len(rootCells))+8*m)
+	var tmp [8]byte
+	put := func(x int) {
+		binary.BigEndian.PutUint64(tmp[:], uint64(x))
+		buf = append(buf, tmp[:]...)
+	}
+	put(n)
+	put(len(rootCells))
+	for _, sz := range rootCells {
+		put(sz)
+	}
+	edges := make([]uint64, 0, m)
+	for _, e := range g.Edges() {
+		u, v := gamma[e[0]], gamma[e[1]]
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, uint64(u)<<32|uint64(v))
+	}
+	sortUint64(edges)
+	for _, e := range edges {
+		binary.BigEndian.PutUint64(tmp[:], e)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func sortUint64(a []uint64) {
+	// Standard library sort without the interface overhead.
+	if len(a) < 2 {
+		return
+	}
+	quickU64(a)
+}
+
+func quickU64(a []uint64) {
+	for len(a) > 16 {
+		p := medianOf3(a)
+		i, j := 0, len(a)-1
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j+1 < len(a)-i {
+			quickU64(a[:j+1])
+			a = a[i:]
+		} else {
+			quickU64(a[i:])
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func medianOf3(a []uint64) uint64 {
+	x, y, z := a[0], a[len(a)/2], a[len(a)-1]
+	if (x <= y && y <= z) || (z <= y && y <= x) {
+		return y
+	}
+	if (y <= x && x <= z) || (z <= x && x <= y) {
+		return x
+	}
+	return z
+}

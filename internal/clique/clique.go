@@ -1,0 +1,312 @@
+// Package clique provides the subgraph-workload substrate of the paper's
+// Table 7: maximum-clique search (branch-and-bound with a greedy-coloring
+// bound, in the spirit of the authors' own PVLDB'17 solver the paper
+// cites) and triangle enumeration (the forward algorithm).
+package clique
+
+import (
+	"sort"
+
+	"dvicl/internal/graph"
+)
+
+// Triangles calls fn for every triangle {a, b, c} (a < b < c) of g using
+// the forward algorithm: each edge is oriented from lower to higher
+// degree, and triangles are completed by intersecting forward adjacency
+// lists. Runs in O(m^1.5).
+func Triangles(g *graph.Graph, fn func(a, b, c int)) {
+	n := g.N()
+	// Order vertices by (degree, id) and keep only forward edges.
+	rank := make([]int, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	for r, v := range order {
+		rank[v] = r
+	}
+	forward := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		g.Neighbors(v, func(w int) {
+			if rank[w] > rank[v] {
+				forward[v] = append(forward[v], int32(w))
+			}
+		})
+		sort.Slice(forward[v], func(i, j int) bool { return forward[v][i] < forward[v][j] })
+	}
+	for v := 0; v < n; v++ {
+		for _, w32 := range forward[v] {
+			w := int(w32)
+			// Intersect forward[v] and forward[w].
+			a, b := forward[v], forward[w]
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					i++
+				case a[i] > b[j]:
+					j++
+				default:
+					x, y, z := sort3(v, w, int(a[i]))
+					fn(x, y, z)
+					i++
+					j++
+				}
+			}
+		}
+	}
+}
+
+func sort3(a, b, c int) (int, int, int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// CountTriangles returns the number of triangles of g.
+func CountTriangles(g *graph.Graph) int64 {
+	var count int64
+	Triangles(g, func(a, b, c int) { count++ })
+	return count
+}
+
+// MaxClique returns one maximum clique of g (sorted). The search is
+// degeneracy-ordered: each vertex's candidate set is its later neighbors
+// in a peeling order, bounding every branch-and-bound subproblem by the
+// graph's degeneracy — the technique that makes maximum clique tractable
+// on massive sparse graphs (the paper cites the authors' own PVLDB'17
+// solver for the same reason).
+func MaxClique(g *graph.Graph) []int {
+	s := &cliqueSearch{g: g}
+	s.runDegeneracy()
+	sort.Ints(s.best)
+	return s.best
+}
+
+// MaxCliques returns every maximum clique of g (as sorted vertex sets),
+// up to limit (0 = all). The first return is the clique size.
+func MaxCliques(g *graph.Graph, limit int) (int, [][]int) {
+	s := &cliqueSearch{g: g}
+	s.runDegeneracy()
+	if len(s.best) == 0 {
+		return 0, nil
+	}
+	s2 := &cliqueSearch{g: g, collectSize: len(s.best), limit: limit}
+	s2.runDegeneracy()
+	for _, c := range s2.all {
+		sort.Ints(c)
+	}
+	sort.Slice(s2.all, func(i, j int) bool {
+		for k := range s2.all[i] {
+			if s2.all[i][k] != s2.all[j][k] {
+				return s2.all[i][k] < s2.all[j][k]
+			}
+		}
+		return false
+	})
+	return len(s.best), s2.all
+}
+
+// degeneracyOrder peels minimum-degree vertices, returning the order and
+// each vertex's rank.
+func degeneracyOrder(g *graph.Graph) (order []int, rank []int) {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	rank = make([]int, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		rank[v] = len(order)
+		order = append(order, v)
+		g.Neighbors(v, func(w int) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+				if deg[w] < cur {
+					cur = deg[w]
+				}
+			}
+		})
+	}
+	return order, rank
+}
+
+// runDegeneracy searches for maximum cliques one degeneracy-ordered
+// vertex at a time: the clique containing v (as its earliest vertex in
+// the order) lies inside v's later neighborhood, whose size is bounded by
+// the degeneracy.
+func (s *cliqueSearch) runDegeneracy() {
+	n := s.g.N()
+	if n == 0 {
+		return
+	}
+	order, rank := degeneracyOrder(s.g)
+	for _, v := range order {
+		var cand []int
+		s.g.Neighbors(v, func(w int) {
+			if rank[w] > rank[v] {
+				cand = append(cand, w)
+			}
+		})
+		if s.collectSize > 0 {
+			if len(cand)+1 < s.collectSize {
+				continue
+			}
+		} else if len(cand)+1 <= len(s.best) {
+			continue
+		}
+		sort.Slice(cand, func(i, j int) bool { return s.g.Degree(cand[i]) > s.g.Degree(cand[j]) })
+		s.current = append(s.current[:0], v)
+		s.expand(cand)
+		s.current = s.current[:0]
+		if s.stopped {
+			return
+		}
+	}
+	// A single vertex is a clique of size 1 in an edgeless graph.
+	if s.collectSize == 0 && len(s.best) == 0 && n > 0 {
+		s.best = []int{0}
+	}
+}
+
+type cliqueSearch struct {
+	g           *graph.Graph
+	best        []int
+	current     []int
+	collectSize int // when > 0, collect all cliques of exactly this size
+	all         [][]int
+	limit       int
+	stopped     bool
+}
+
+// expand implements Tomita-style branch and bound: candidates are greedily
+// colored; the color count bounds the attainable clique size, and vertices
+// are tried in reverse color order.
+func (s *cliqueSearch) expand(cand []int) {
+	if s.stopped {
+		return
+	}
+	if s.collectSize > 0 && len(s.current) == s.collectSize {
+		s.report()
+		return
+	}
+	if len(cand) == 0 {
+		s.report()
+		return
+	}
+	colors, orderByColor := greedyColor(s.g, cand)
+	for i := len(orderByColor) - 1; i >= 0; i-- {
+		v := orderByColor[i]
+		bound := len(s.current) + colors[i]
+		if s.collectSize > 0 {
+			if bound < s.collectSize {
+				return
+			}
+		} else if bound <= len(s.best) {
+			return
+		}
+		// Branch on v.
+		s.current = append(s.current, v)
+		var next []int
+		for _, u := range orderByColor[:i] {
+			if s.g.HasEdge(v, u) {
+				next = append(next, u)
+			}
+		}
+		s.expand(next)
+		s.current = s.current[:len(s.current)-1]
+		if s.stopped {
+			return
+		}
+	}
+	// All candidates excluded: current is maximal among this branch.
+	s.report()
+}
+
+func (s *cliqueSearch) report() {
+	if s.collectSize > 0 {
+		if len(s.current) == s.collectSize {
+			s.all = append(s.all, append([]int(nil), s.current...))
+			if s.limit > 0 && len(s.all) >= s.limit {
+				s.stopped = true
+			}
+		}
+		return
+	}
+	if len(s.current) > len(s.best) {
+		s.best = append(s.best[:0], s.current...)
+	}
+}
+
+// greedyColor colors cand greedily; returns, parallel to the reordered
+// candidate list (grouped by color, ascending), each vertex's color index
+// + 1 (the clique-size bound when branching at that vertex).
+func greedyColor(g *graph.Graph, cand []int) (colors []int, order []int) {
+	var classes [][]int
+	for _, v := range cand {
+		placed := false
+		for ci := range classes {
+			ok := true
+			for _, u := range classes[ci] {
+				if g.HasEdge(v, u) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				classes[ci] = append(classes[ci], v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{v})
+		}
+	}
+	for ci, class := range classes {
+		for _, v := range class {
+			order = append(order, v)
+			colors = append(colors, ci+1)
+		}
+	}
+	return colors, order
+}

@@ -1,0 +1,229 @@
+package clique
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dvicl/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func randGraph(r *rand.Rand, n, p int) *graph.Graph {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Intn(p) == 0 {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func bruteTriangles(g *graph.Graph) int64 {
+	var count int64
+	n := g.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(a, c) && g.HasEdge(b, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func bruteMaxCliqueSize(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	for mask := 1; mask < 1<<n; mask++ {
+		var members []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				members = append(members, v)
+			}
+		}
+		if len(members) <= best {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(members) && ok; i++ {
+			for j := i + 1; j < len(members) && ok; j++ {
+				if !g.HasEdge(members[i], members[j]) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	if got := CountTriangles(complete(5)); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+	c6 := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if got := CountTriangles(c6); got != 0 {
+		t.Fatalf("C6 triangles = %d, want 0", got)
+	}
+}
+
+func TestTrianglesMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 30; trial++ {
+		g := randGraph(r, 4+r.Intn(14), 2)
+		if got, want := CountTriangles(g), bruteTriangles(g); got != want {
+			t.Fatalf("triangles = %d, brute force %d (edges=%v)", got, want, g.Edges())
+		}
+	}
+}
+
+func TestTrianglesAreTriangles(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	g := randGraph(r, 20, 2)
+	seen := map[string]bool{}
+	Triangles(g, func(a, b, c int) {
+		if !(a < b && b < c) {
+			t.Fatalf("unsorted triangle (%d,%d,%d)", a, b, c)
+		}
+		if !g.HasEdge(a, b) || !g.HasEdge(b, c) || !g.HasEdge(a, c) {
+			t.Fatalf("non-triangle (%d,%d,%d)", a, b, c)
+		}
+		k := fmt.Sprint(a, b, c)
+		if seen[k] {
+			t.Fatalf("duplicate triangle %s", k)
+		}
+		seen[k] = true
+	})
+}
+
+func TestMaxCliqueKnown(t *testing.T) {
+	if got := len(MaxClique(complete(7))); got != 7 {
+		t.Fatalf("K7 max clique = %d", got)
+	}
+	// Two K4s sharing nothing plus noise edges.
+	g := graph.FromEdges(9, [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7},
+		{3, 4}, {8, 0},
+	})
+	if got := len(MaxClique(g)); got != 4 {
+		t.Fatalf("max clique = %d, want 4", got)
+	}
+	size, all := MaxCliques(g, 0)
+	if size != 4 || len(all) != 2 {
+		t.Fatalf("MaxCliques = size %d, %d cliques, want 4 and 2: %v", size, len(all), all)
+	}
+}
+
+func TestMaxCliqueMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 25; trial++ {
+		g := randGraph(r, 4+r.Intn(10), 2)
+		got := len(MaxClique(g))
+		want := bruteMaxCliqueSize(g)
+		if got != want {
+			t.Fatalf("max clique %d, brute force %d (edges=%v)", got, want, g.Edges())
+		}
+	}
+}
+
+func TestMaxCliquesValidAndDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 15; trial++ {
+		g := randGraph(r, 5+r.Intn(8), 2)
+		size, all := MaxCliques(g, 0)
+		seen := map[string]bool{}
+		for _, c := range all {
+			if len(c) != size {
+				t.Fatalf("clique %v has size %d, want %d", c, len(c), size)
+			}
+			for i := 0; i < len(c); i++ {
+				for j := i + 1; j < len(c); j++ {
+					if !g.HasEdge(c[i], c[j]) {
+						t.Fatalf("%v is not a clique", c)
+					}
+				}
+			}
+			k := fmt.Sprint(c)
+			if seen[k] {
+				t.Fatalf("duplicate clique %v", c)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestMaxCliquesLimit(t *testing.T) {
+	// K3,3 complement is 2×K3... use two disjoint triangles directly.
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	_, all := MaxCliques(g, 1)
+	if len(all) != 1 {
+		t.Fatalf("limit ignored: %v", all)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	if got := len(MaxClique(g)); got != 1 {
+		t.Fatalf("edgeless max clique = %d, want 1", got)
+	}
+	if CountTriangles(g) != 0 {
+		t.Fatal("edgeless graph has triangles")
+	}
+}
+
+func TestMaxCliquesEdgeless(t *testing.T) {
+	g := graph.FromEdges(4, nil)
+	size, all := MaxCliques(g, 0)
+	if size != 1 || len(all) != 4 {
+		t.Fatalf("edgeless MaxCliques = %d/%d, want 1/4: %v", size, len(all), all)
+	}
+	seen := map[int]bool{}
+	for _, c := range all {
+		if len(c) != 1 || seen[c[0]] {
+			t.Fatalf("bad cliques %v", all)
+		}
+		seen[c[0]] = true
+	}
+}
+
+func TestMaxCliqueLargeSparse(t *testing.T) {
+	// Degeneracy ordering must make a 20k-vertex sparse graph instant.
+	r := rand.New(rand.NewSource(85))
+	b := graph.NewBuilder(20000)
+	for v := 1; v < 20000; v++ {
+		for e := 0; e < 3; e++ {
+			b.AddEdge(v, r.Intn(v))
+		}
+	}
+	// Plant a K6.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(100+i, 100+j)
+		}
+	}
+	g := b.Build()
+	got := MaxClique(g)
+	if len(got) < 6 {
+		t.Fatalf("planted K6 missed: %v", got)
+	}
+}

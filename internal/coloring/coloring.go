@@ -1,0 +1,206 @@
+// Package coloring implements ordered partitions ("colorings" in Section 2
+// of the paper) and the equitable refinement function R (1-dimensional
+// Weisfeiler–Lehman), the workhorse of both the individualization–
+// refinement baseline and DviCL.
+//
+// A coloring π = [V1 | V2 | … | Vk] is a disjoint ordered partition of the
+// vertex set. The color of a vertex is the number of vertices in earlier
+// cells, exactly the π(v) ← Σ_{j<i} |Vj| convention the paper uses, so
+// colors of a discrete coloring form a permutation.
+package coloring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coloring is an ordered partition of {0,…,n−1}. It is mutable: Refine and
+// Individualize modify it in place (use Clone to branch, as the backtrack
+// search does).
+type Coloring struct {
+	lab []int // vertices arranged so that each cell is contiguous
+	pos []int // pos[v] = index of v in lab
+	cs  []int // cs[p] = start index of the cell containing position p
+	ce  []int // ce[s] = end index (exclusive) of the cell starting at s; valid only at cell starts
+	nc  int   // number of cells
+}
+
+// Unit returns the unit coloring [V] on n vertices (every vertex the same
+// color).
+func Unit(n int) *Coloring {
+	c := &Coloring{
+		lab: make([]int, n),
+		pos: make([]int, n),
+		cs:  make([]int, n),
+		ce:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		c.lab[i] = i
+		c.pos[i] = i
+		c.cs[i] = 0
+	}
+	if n > 0 {
+		c.ce[0] = n
+		c.nc = 1
+	}
+	return c
+}
+
+// FromCells builds a coloring from an explicit ordered cell list. The
+// cells must partition {0,…,n−1}.
+func FromCells(n int, cells [][]int) (*Coloring, error) {
+	c := Unit(n)
+	seen := make([]bool, n)
+	p := 0
+	for _, cell := range cells {
+		if len(cell) == 0 {
+			return nil, fmt.Errorf("coloring: empty cell")
+		}
+		start := p
+		for _, v := range cell {
+			if v < 0 || v >= n || seen[v] {
+				return nil, fmt.Errorf("coloring: cells are not a partition (vertex %d)", v)
+			}
+			seen[v] = true
+			c.lab[p] = v
+			c.pos[v] = p
+			c.cs[p] = start
+			p++
+		}
+		c.ce[start] = p
+	}
+	if p != n {
+		return nil, fmt.Errorf("coloring: cells cover %d of %d vertices", p, n)
+	}
+	c.nc = len(cells)
+	return c, nil
+}
+
+// N returns the number of vertices.
+func (c *Coloring) N() int { return len(c.lab) }
+
+// Color returns π(v): the start offset of v's cell.
+func (c *Coloring) Color(v int) int { return c.cs[c.pos[v]] }
+
+// CellOf returns the vertices sharing v's cell, sorted ascending.
+func (c *Coloring) CellOf(v int) []int {
+	s := c.cs[c.pos[v]]
+	out := append([]int(nil), c.lab[s:c.ce[s]]...)
+	sort.Ints(out)
+	return out
+}
+
+// Cells returns the ordered cell list; each cell's vertices are sorted.
+func (c *Coloring) Cells() [][]int {
+	var out [][]int
+	for s := 0; s < len(c.lab); s = c.ce[s] {
+		cell := append([]int(nil), c.lab[s:c.ce[s]]...)
+		sort.Ints(cell)
+		out = append(out, cell)
+	}
+	return out
+}
+
+// NumCells returns the number of cells.
+func (c *Coloring) NumCells() int { return c.nc }
+
+// NumSingletons returns how many cells are singletons.
+func (c *Coloring) NumSingletons() int {
+	k := 0
+	for s := 0; s < len(c.lab); s = c.ce[s] {
+		if c.ce[s]-s == 1 {
+			k++
+		}
+	}
+	return k
+}
+
+// IsDiscrete reports whether every cell is a singleton.
+func (c *Coloring) IsDiscrete() bool { return c.nc == c.N() }
+
+// Clone returns an independent copy of c.
+func (c *Coloring) Clone() *Coloring {
+	return &Coloring{
+		lab: append([]int(nil), c.lab...),
+		pos: append([]int(nil), c.pos...),
+		cs:  append([]int(nil), c.cs...),
+		ce:  append([]int(nil), c.ce...),
+		nc:  c.nc,
+	}
+}
+
+// Perm returns, for a discrete coloring, the permutation γ with
+// γ(v) = π(v) (the paper's π̄). It panics if c is not discrete.
+func (c *Coloring) Perm() []int {
+	if !c.IsDiscrete() {
+		panic("coloring: Perm on non-discrete coloring")
+	}
+	out := make([]int, len(c.pos))
+	copy(out, c.pos)
+	return out
+}
+
+// Individualize splits v out of its cell, making {v} a new cell placed
+// before the remainder of its old cell. This is the edge operation of the
+// search tree in Section 4. It returns the start positions of the two
+// affected cells (the singleton and the remainder; remainder start is -1
+// if the cell was already a singleton).
+func (c *Coloring) Individualize(v int) (singleton, rest int) {
+	s := c.cs[c.pos[v]]
+	e := c.ce[s]
+	if e-s == 1 {
+		return s, -1
+	}
+	// Swap v to the front of its cell.
+	p := c.pos[v]
+	u := c.lab[s]
+	c.lab[s], c.lab[p] = v, u
+	c.pos[v], c.pos[u] = s, p
+	// New singleton at s, remainder at s+1.
+	c.ce[s] = s + 1
+	c.cs[s] = s
+	for q := s + 1; q < e; q++ {
+		c.cs[q] = s + 1
+	}
+	c.ce[s+1] = e
+	c.nc++
+	return s, s + 1
+}
+
+// Equal reports whether two colorings are the same ordered partition.
+func (c *Coloring) Equal(d *Coloring) bool {
+	if c.N() != d.N() {
+		return false
+	}
+	for s := 0; s < len(c.lab); s = c.ce[s] {
+		if d.ce[s] != c.ce[s] {
+			return false
+		}
+	}
+	for v := range c.pos {
+		if c.Color(v) != d.Color(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the coloring in the paper's [a,b|c|d] notation with each
+// cell's vertices sorted.
+func (c *Coloring) String() string {
+	out := "["
+	first := true
+	for _, cell := range c.Cells() {
+		if !first {
+			out += "|"
+		}
+		first = false
+		for i, v := range cell {
+			if i > 0 {
+				out += ","
+			}
+			out += fmt.Sprint(v)
+		}
+	}
+	return out + "]"
+}

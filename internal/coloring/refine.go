@@ -1,0 +1,283 @@
+package coloring
+
+import (
+	"dvicl/internal/graph"
+)
+
+// fnv1a64 constants for the refinement trace hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(h uint64, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime
+	return h
+}
+
+// Refine makes c equitable with respect to g — the refinement function R
+// of Sections 4 and 6 (1-dimensional Weisfeiler–Lehman). Cells are split
+// by the number of neighbors in a splitter cell; fragments are ordered by
+// ascending count, which makes the resulting ordered partition
+// isomorphism-invariant (property (iii) of R).
+//
+// active lists the cell start positions seeding the splitter worklist;
+// pass nil to seed with every cell (a refinement from scratch). After an
+// Individualize, pass the returned singleton (and remainder) starts.
+//
+// Refine returns an isomorphism-invariant trace hash of the refinement:
+// two corresponding nodes of the search trees of isomorphic colored graphs
+// produce equal hashes, so the hash serves as the node invariant φ.
+//
+// The cost per splitter is proportional to the splitter's adjacency, not
+// to the sizes of the touched cells: members with zero splitter-neighbors
+// stay in place as the (implicit, minimal-count) first fragment.
+func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
+	n := c.N()
+	h := uint64(fnvOffset)
+	if n == 0 {
+		return h
+	}
+	inWork := make([]bool, n)
+	var queue []int
+	push := func(s int) {
+		if !inWork[s] {
+			inWork[s] = true
+			queue = append(queue, s)
+		}
+	}
+	if active == nil {
+		for s := 0; s < n; s = c.ce[s] {
+			push(s)
+		}
+	} else {
+		for _, s := range active {
+			if s >= 0 {
+				push(s)
+			}
+		}
+	}
+
+	cnt := make([]int, n) // neighbor count scratch, keyed by vertex
+	touched := make([]int, 0, 64)
+	keys := make([]uint64, 0, 64)
+
+	for len(queue) > 0 {
+		ws := queue[0]
+		queue = queue[1:]
+		inWork[ws] = false
+		we := c.ce[ws]
+		h = mix(h, uint64(ws)<<32|uint64(we))
+
+		// Count splitter-neighbors for every adjacent vertex.
+		touched = touched[:0]
+		for p := ws; p < we; p++ {
+			v := c.lab[p]
+			g.Neighbors(v, func(w int) {
+				if cnt[w] == 0 {
+					touched = append(touched, w)
+				}
+				cnt[w]++
+			})
+		}
+		if len(touched) == 0 {
+			if c.nc == n {
+				break
+			}
+			continue
+		}
+		// Order the touched vertices by (cell, count): positional and
+		// count-based, hence isomorphism-invariant. Ties within a
+		// fragment are irrelevant to the partition. The sort runs on
+		// packed uint64 keys — this is the refinement's hot loop.
+		keys = keys[:0]
+		for _, v := range touched {
+			keys = append(keys, uint64(c.cs[c.pos[v]])<<32|uint64(cnt[v]))
+		}
+		sortByKeys(keys, touched)
+		// Process each touched cell's contiguous group.
+		for i := 0; i < len(touched); {
+			s := c.cs[c.pos[touched[i]]]
+			j := i + 1
+			for j < len(touched) && c.cs[c.pos[touched[j]]] == s {
+				j++
+			}
+			h = c.splitTouched(s, touched[i:j], cnt, h, inWork, push)
+			i = j
+		}
+		for _, v := range touched {
+			cnt[v] = 0
+		}
+		if c.nc == n {
+			break
+		}
+	}
+	// Fold the final cell structure into the hash.
+	for s := 0; s < n; s = c.ce[s] {
+		h = mix(h, uint64(s)<<32|uint64(c.ce[s]-s))
+	}
+	return h
+}
+
+// splitTouched splits the cell starting at s given its touched members
+// (sorted by ascending count); untouched members keep count zero and stay
+// in place as the first fragment. Runs in O(len(group)).
+func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork []bool, push func(int)) uint64 {
+	e := c.ce[s]
+	t := len(group)
+	zeros := (e - s) - t
+	// Distinct counts?
+	oneCount := true
+	for k := 1; k < t; k++ {
+		if cnt[group[k]] != cnt[group[0]] {
+			oneCount = false
+			break
+		}
+	}
+	if zeros == 0 && oneCount {
+		// Whole cell has one uniform count: no split.
+		return mix(h, uint64(s)<<32|uint64(cnt[group[0]]))
+	}
+	// Move touched members to the cell's tail, descending count from the
+	// back, so fragments end up ordered: zeros first, then ascending
+	// counts.
+	for k := t - 1; k >= 0; k-- {
+		v := group[k]
+		target := e - (t - k)
+		p := c.pos[v]
+		if p != target {
+			u := c.lab[target]
+			c.lab[target], c.lab[p] = v, u
+			c.pos[v], c.pos[u] = target, p
+		}
+	}
+	wasActive := inWork[s]
+	if wasActive {
+		inWork[s] = false
+	}
+	// Fragment boundaries: [s, s+zeros) keeps its cs values; count groups
+	// occupy [e-t, e).
+	type frag struct{ start, end int }
+	var frags []frag
+	if zeros > 0 {
+		c.ce[s] = s + zeros
+		frags = append(frags, frag{s, s + zeros})
+		h = mix(h, uint64(s)<<32|uint64(zeros))
+		h = mix(h, 0)
+	}
+	gs := e - t
+	for k := 0; k < t; {
+		k2 := k + 1
+		for k2 < t && cnt[c.lab[gs+k2]] == cnt[c.lab[gs+k]] {
+			k2++
+		}
+		fs, fe := gs+k, gs+k2
+		for p := fs; p < fe; p++ {
+			c.cs[p] = fs
+		}
+		c.ce[fs] = fe
+		frags = append(frags, frag{fs, fe})
+		h = mix(h, uint64(fs)<<32|uint64(fe-fs))
+		h = mix(h, uint64(cnt[c.lab[fs]]))
+		k = k2
+	}
+	c.nc += len(frags) - 1
+	// Hopcroft rule: enqueue all fragments except the largest; if the
+	// original cell was pending, enqueue the largest too.
+	largest := 0
+	for i, f := range frags {
+		if f.end-f.start > frags[largest].end-frags[largest].start {
+			largest = i
+		}
+	}
+	for i, f := range frags {
+		if i != largest || wasActive {
+			push(f.start)
+		}
+	}
+	return h
+}
+
+// IsEquitable reports whether c is equitable with respect to g: for every
+// pair of cells Vi, Vj, all vertices of Vi have the same number of
+// neighbors in Vj (Section 2).
+func (c *Coloring) IsEquitable(g *graph.Graph) bool {
+	n := c.N()
+	for s := 0; s < n; s = c.ce[s] {
+		e := c.ce[s]
+		if e-s == 1 {
+			continue
+		}
+		// Count per-cell neighbor profile of the first member, compare rest.
+		ref := make(map[int]int)
+		g.Neighbors(c.lab[s], func(w int) {
+			ref[c.cs[c.pos[w]]]++
+		})
+		for p := s + 1; p < e; p++ {
+			got := make(map[int]int)
+			g.Neighbors(c.lab[p], func(w int) {
+				got[c.cs[c.pos[w]]]++
+			})
+			if len(got) != len(ref) {
+				return false
+			}
+			for k, v := range ref {
+				if got[k] != v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// sortByKeys sorts vals by their parallel packed keys ascending
+// (quicksort with median-of-three pivots, insertion sort below 16).
+func sortByKeys(keys []uint64, vals []int) {
+	for len(keys) > 16 {
+		p := medianOf3(keys[0], keys[len(keys)/2], keys[len(keys)-1])
+		i, j := 0, len(keys)-1
+		for i <= j {
+			for keys[i] < p {
+				i++
+			}
+			for keys[j] > p {
+				j--
+			}
+			if i <= j {
+				keys[i], keys[j] = keys[j], keys[i]
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		if j+1 < len(keys)-i {
+			sortByKeys(keys[:j+1], vals[:j+1])
+			keys, vals = keys[i:], vals[i:]
+		} else {
+			sortByKeys(keys[i:], vals[i:])
+			keys, vals = keys[:j+1], vals[:j+1]
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i
+		for ; j > 0 && keys[j-1] > k; j-- {
+			keys[j] = keys[j-1]
+			vals[j] = vals[j-1]
+		}
+		keys[j] = k
+		vals[j] = v
+	}
+}
+
+func medianOf3(a, b, c uint64) uint64 {
+	if (a <= b && b <= c) || (c <= b && b <= a) {
+		return b
+	}
+	if (b <= a && a <= c) || (c <= a && a <= b) {
+		return a
+	}
+	return c
+}

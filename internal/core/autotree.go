@@ -1,0 +1,312 @@
+// Package core implements DviCL, the divide-and-conquer canonical-labeling
+// algorithm of the paper (Algorithm 1), and the AutoTree index it builds.
+//
+// DviCL refines the input coloring to an equitable one (Weisfeiler–Lehman),
+// then recursively divides the graph with DivideI (isolate singleton cells,
+// Algorithm 2) and DivideS (drop color-complete cliques and bicliques,
+// Algorithm 3), and combines canonical labelings bottom-up with CombineCL
+// (Algorithm 4, delegating non-singleton leaves to an individualization–
+// refinement labeler) and CombineST (Algorithm 5). The resulting AutoTree
+// preserves the automorphism group of (G, π): each node carries a
+// certificate, equal-certificate siblings are symmetric subgraphs, and the
+// root's labeling is the canonical labeling of G — the "k-th minimum Gᵞ"
+// of Section 5.
+package core
+
+import (
+	"math/big"
+	"sort"
+	"time"
+
+	"dvicl/internal/canon"
+	"dvicl/internal/coloring"
+	"dvicl/internal/graph"
+	"dvicl/internal/perm"
+)
+
+// Options configures DviCL.
+type Options struct {
+	// LeafPolicy selects the individualization–refinement engine used for
+	// non-singleton leaves — the "X" in the paper's DviCL+X.
+	LeafPolicy canon.Policy
+	// LeafMaxNodes bounds each leaf search (0 = unlimited).
+	LeafMaxNodes int64
+	// LeafTimeout bounds each leaf search by wall clock (0 = unlimited) —
+	// the per-leaf analogue of the paper's two-hour limit.
+	LeafTimeout time.Duration
+	// DisableTwinSimplification turns off the structural-equivalence
+	// preprocessing of Section 6.1. On by default because real graphs are
+	// full of twins.
+	DisableTwinSimplification bool
+	// DisableDivideS turns off the clique/biclique division (Algorithm 3),
+	// leaving DivideI only — an ablation knob for benchmarking the value
+	// of DivideS. Results stay correct; trees just get coarser leaves.
+	DisableDivideS bool
+	// Workers enables parallel construction: subtrees of a divided node
+	// are independent, so up to Workers of them build concurrently.
+	// 0 or 1 means sequential. The resulting tree is identical either way.
+	Workers int
+}
+
+// NodeKind distinguishes the three node shapes of an AutoTree.
+type NodeKind int
+
+const (
+	// KindSingleton is a one-vertex leaf.
+	KindSingleton NodeKind = iota
+	// KindLeaf is a non-singleton leaf: neither DivideI nor DivideS can
+	// disconnect it, so CombineCL labels it with the leaf engine.
+	KindLeaf
+	// KindInternal is a divided node whose labeling CombineST assembles
+	// from its children.
+	KindInternal
+)
+
+// DivideKind records which division produced a node's children.
+type DivideKind int
+
+const (
+	// DividedNone marks leaves.
+	DividedNone DivideKind = iota
+	// DividedI marks nodes divided by DivideI (singleton-cell axes).
+	DividedI
+	// DividedS marks nodes divided by DivideS (clique/biclique removal).
+	DividedS
+)
+
+// Node is an AutoTree node: a colored subgraph (g, πg) of (G, π) together
+// with its canonical labeling and certificate.
+type Node struct {
+	// Verts lists the node's vertices (original ids of G), sorted.
+	Verts []int
+	// Kind is the node shape; Divide says how an internal node was split.
+	Kind   NodeKind
+	Divide DivideKind
+	// Children are ordered by certificate (CombineST's sort); equal-
+	// certificate runs of siblings are symmetric subgraphs of G.
+	Children []*Node
+	// Cert is the node's canonical certificate: equal certs among
+	// siblings ⇔ symmetric subgraphs (Lemmas 6.7, 6.8).
+	Cert []byte
+	// gammaVal[i] is Verts[i]ᵞᵍ, the canonical label of Verts[i] within
+	// this node: π(v) plus the rank among same-colored vertices of g.
+	gammaVal []int
+	// autOrder is |Aut(g, πg)| (nil until computed).
+	autOrder *big.Int
+	// desc is the removal descriptor of the division that produced the
+	// children (see combine.go); retained so certificates can be
+	// recomputed after twin expansion.
+	desc []byte
+	// localGens holds, for a non-singleton leaf, the automorphism
+	// generators of (g, πg) over the node's local vertex order.
+	localGens []perm.Perm
+	// localGraph is the reduced local graph of a non-singleton leaf.
+	localGraph *graph.Graph
+}
+
+// Size returns the number of vertices of the node's subgraph.
+func (nd *Node) Size() int { return len(nd.Verts) }
+
+// CanonicalOrder returns the node's vertices ordered by their canonical
+// label γg. Matching positions of this order between two equal-certificate
+// siblings is the isomorphism γij of Section 5.
+func (nd *Node) CanonicalOrder() []int { return vertsByGamma(nd) }
+
+// LeafGraph returns the (reduced) local graph of a non-singleton leaf;
+// local vertex i corresponds to Verts[i]. It is nil for other node kinds.
+func (nd *Node) LeafGraph() *graph.Graph { return nd.localGraph }
+
+// LeafGenerators returns the automorphism generators of a non-singleton
+// leaf over its local vertex order (empty for other node kinds).
+func (nd *Node) LeafGenerators() []perm.Perm { return nd.localGens }
+
+// GammaOf returns vᵞᵍ for a vertex of the node (or -1 if v is not here).
+func (nd *Node) GammaOf(v int) int {
+	i := sort.SearchInts(nd.Verts, v)
+	if i < len(nd.Verts) && nd.Verts[i] == v {
+		return nd.gammaVal[i]
+	}
+	return -1
+}
+
+// Tree is the AutoTree 𝒜𝒯(G, π) produced by Build.
+type Tree struct {
+	// Root represents (G, π) itself.
+	Root *Node
+	// Gamma is the canonical labeling γ* of G: relabeling G by Gamma
+	// yields the canonical form.
+	Gamma perm.Perm
+	// Truncated reports that some leaf search hit its node budget; the
+	// labeling is then best-effort (the paper's timeout case).
+	Truncated bool
+
+	sparseGens []perm.Sparse
+
+	g      *graph.Graph
+	colors []int // global equitable colors π(v)
+	leafOf []int // vertex -> index into leaves
+	leaves []*Node
+}
+
+// Graph returns the graph the tree was built for.
+func (t *Tree) Graph() *graph.Graph { return t.g }
+
+// Generators materializes the automorphism generators of Aut(G, π) as
+// dense permutations: within-leaf automorphisms plus sibling-swap
+// isomorphisms between equal-certificate siblings. On large graphs prefer
+// SparseGenerators — dense generators cost O(n) memory each.
+func (t *Tree) Generators() []perm.Perm {
+	out := make([]perm.Perm, len(t.sparseGens))
+	for i, s := range t.sparseGens {
+		out[i] = s.Dense()
+	}
+	return out
+}
+
+// SparseGenerators returns the generators by their moved points only.
+func (t *Tree) SparseGenerators() []perm.Sparse { return t.sparseGens }
+
+// Colors returns the global equitable coloring values π(v).
+func (t *Tree) Colors() []int { return t.colors }
+
+// LeafOf returns the leaf node containing vertex v.
+func (t *Tree) LeafOf(v int) *Node { return t.leaves[t.leafOf[v]] }
+
+// Build runs DviCL (Algorithm 1) on the colored graph (g, pi) and returns
+// its AutoTree. pi may be nil for the unit coloring; it is not modified.
+func Build(g *graph.Graph, pi *coloring.Coloring, opt Options) *Tree {
+	n := g.N()
+	if pi == nil {
+		pi = coloring.Unit(n)
+	} else {
+		pi = pi.Clone()
+	}
+	// Line 1–2 of Algorithm 1: equitable refinement, then color values.
+	pi.Refine(g, nil)
+	colors := make([]int, n)
+	for v := 0; v < n; v++ {
+		colors[v] = pi.Color(v)
+	}
+	t := &Tree{g: g, colors: colors, leafOf: make([]int, n)}
+	b := &builder{t: t, opt: opt, scratch: newScratch(n)}
+	if opt.Workers > 1 {
+		b.sem = make(chan struct{}, opt.Workers-1)
+	}
+
+	if !opt.DisableTwinSimplification {
+		t.Root = b.buildSimplified()
+	} else {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		t.Root = b.cl(b.subgraphOf(all))
+	}
+
+	t.Truncated = b.wasTruncated()
+	t.sparseGens = b.collectGens(t.Root)
+	if n > 0 {
+		t.Gamma = make(perm.Perm, n)
+		copy(t.Gamma, t.Root.gammaVal) // root Verts = 0..n-1 in order
+	} else {
+		t.Gamma = perm.Perm{}
+	}
+	t.indexLeaves()
+	return t
+}
+
+// indexLeaves records which leaf holds each vertex (used by SSM).
+func (t *Tree) indexLeaves() {
+	t.leaves = t.leaves[:0]
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if len(nd.Children) == 0 {
+			idx := len(t.leaves)
+			t.leaves = append(t.leaves, nd)
+			for _, v := range nd.Verts {
+				t.leafOf[v] = idx
+			}
+			return
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+}
+
+// Stats summarizes the AutoTree structure — the columns of Tables 3 and 4.
+type Stats struct {
+	Nodes              int
+	SingletonLeaves    int
+	NonSingletonLeaves int
+	AvgLeafSize        float64 // average size of non-singleton leaves
+	Depth              int     // edges on the longest root-leaf path
+}
+
+// Stats computes the Table 3/4 columns for the tree.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var sizeSum int
+	var walk func(nd *Node, depth int)
+	walk = func(nd *Node, depth int) {
+		s.Nodes++
+		if depth > s.Depth {
+			s.Depth = depth
+		}
+		if len(nd.Children) == 0 {
+			if nd.Kind == KindSingleton {
+				s.SingletonLeaves++
+			} else {
+				s.NonSingletonLeaves++
+				sizeSum += nd.Size()
+			}
+			return
+		}
+		for _, c := range nd.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 0)
+	}
+	if s.NonSingletonLeaves > 0 {
+		s.AvgLeafSize = float64(sizeSum) / float64(s.NonSingletonLeaves)
+	}
+	return s
+}
+
+// CanonicalGraph returns the canonical form G^γ* itself: isomorphic
+// graphs produce the identical labeled graph (the canonical
+// representative C(G, π) of Section 2).
+func (t *Tree) CanonicalGraph() *graph.Graph {
+	return t.g.Permute(t.Gamma)
+}
+
+// CanonicalCert returns the exact certificate of the canonical form
+// (G^γ*, π^γ*): the global cell sizes followed by the relabeled, sorted
+// edge list. Two colored graphs are isomorphic iff their CanonicalCerts
+// are equal (Theorem 6.9).
+func (t *Tree) CanonicalCert() []byte {
+	cellSizes := sizesFromColors(t.colors)
+	return canon.EncodeCertificate(t.g, t.Gamma, cellSizes)
+}
+
+func sizesFromColors(colors []int) []int {
+	counts := map[int]int{}
+	for _, c := range colors {
+		counts[c]++
+	}
+	var keys []int
+	for c := range counts {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	sizes := make([]int, 0, len(keys))
+	for _, c := range keys {
+		sizes = append(sizes, counts[c])
+	}
+	return sizes
+}

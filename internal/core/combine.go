@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"time"
+
+	"dvicl/internal/canon"
+	"dvicl/internal/coloring"
+)
+
+// descriptor accumulates the removal record of a division in a canonical
+// byte form. Certificates of internal nodes cover the descriptor so that
+// certificate equality remains a complete isomorphism invariant: the
+// children describe the reduced components, and the descriptor describes —
+// purely in color terms, which is all that is needed because every removed
+// structure is color-complete — the edges the division deleted.
+type descriptor struct {
+	buf bytes.Buffer
+}
+
+func newDescriptor(kind DivideKind) *descriptor {
+	d := &descriptor{}
+	d.word(int(kind))
+	return d
+}
+
+func (d *descriptor) word(x int) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(x))
+	d.buf.Write(tmp[:])
+}
+
+// singleton records a DivideI axis vertex: its color and the colors of
+// the cells it was fully adjacent to.
+func (d *descriptor) singleton(color int, nbColors []int) {
+	d.word(-1)
+	d.word(color)
+	d.word(len(nbColors))
+	for _, c := range nbColors {
+		d.word(c)
+	}
+}
+
+// pair records a DivideS clique (a == b) or biclique (a < b) removal.
+func (d *descriptor) pair(a, b int) {
+	d.word(-2)
+	d.word(a)
+	d.word(b)
+}
+
+func (d *descriptor) bytes() []byte { return d.buf.Bytes() }
+
+// cl is the recursive procedure of Algorithm 1: it constructs the AutoTree
+// rooted at (g, πg).
+func (b *builder) cl(sg *subgraph) *Node {
+	nd := &Node{Verts: sg.verts}
+	if len(sg.verts) == 0 {
+		nd.Kind = KindLeaf
+		nd.Cert = hashParts([]byte{'e'})
+		return nd
+	}
+	if len(sg.verts) == 1 {
+		b.makeSingleton(nd)
+		return nd
+	}
+	div := b.divideI(sg)
+	if div == nil && !b.opt.DisableDivideS {
+		div = b.divideS(sg)
+	}
+	if div == nil {
+		b.combineCL(nd, sg)
+		return nd
+	}
+	nd.Kind = KindInternal
+	nd.Divide = div.kind
+	nd.desc = div.desc
+	nd.Children = b.buildChildren(div.children)
+	b.combineST(nd)
+	return nd
+}
+
+// buildChildren recurses into the divided subgraphs, in parallel when the
+// builder has spare worker tokens. Subtrees are fully independent (they
+// share only read-only state), and combineST re-sorts by certificate, so
+// the final tree is identical to the sequential one.
+func (b *builder) buildChildren(subs []*subgraph) []*Node {
+	nodes := make([]*Node, len(subs))
+	if b.sem == nil || len(subs) < 2 {
+		for i, child := range subs {
+			nodes[i] = b.cl(child)
+		}
+		return nodes
+	}
+	var wg sync.WaitGroup
+	for i, child := range subs {
+		select {
+		case b.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, c *subgraph) {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				nodes[i] = b.cl(c)
+			}(i, child)
+		default:
+			nodes[i] = b.cl(child)
+		}
+	}
+	wg.Wait()
+	return nodes
+}
+
+// makeSingleton fills in a one-vertex leaf: its canonical label is its
+// color, C(g, πg) = (π(v), π(v)) per Section 5.
+func (b *builder) makeSingleton(nd *Node) {
+	v := nd.Verts[0]
+	nd.Kind = KindSingleton
+	nd.gammaVal = []int{b.t.colors[v]}
+	nd.Cert = hashParts([]byte{'s'}, encodeInts(b.t.colors[v]))
+}
+
+// combineCL implements Algorithm 4 for a non-singleton leaf: an
+// individualization–refinement engine (the paper's nauty/bliss/traces)
+// canonically labels (g, πg); its total order γ* then ranks same-colored
+// vertices, yielding vᵞᵍ = π(v) + rank.
+func (b *builder) combineCL(nd *Node, sg *subgraph) {
+	nd.Kind = KindLeaf
+	cells := b.cellsOf(sg)
+	pi, err := coloring.FromCells(len(sg.verts), cells)
+	if err != nil {
+		panic("core: projected cells are not a partition: " + err.Error())
+	}
+	copt := canon.Options{
+		Policy:   b.opt.LeafPolicy,
+		MaxNodes: b.opt.LeafMaxNodes,
+	}
+	if b.opt.LeafTimeout > 0 {
+		copt.Deadline = time.Now().Add(b.opt.LeafTimeout)
+	}
+	res := canon.Canonical(sg.local, pi, copt)
+	if res.Truncated {
+		b.markTruncated()
+	}
+	order := res.Canon
+	if order == nil { // truncated before any leaf: fall back to input order
+		order = make([]int, len(sg.verts))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	nd.localGens = res.Generators
+	nd.localGraph = sg.local
+	// Rank same-colored vertices by γ*.
+	nd.gammaVal = make([]int, len(sg.verts))
+	for _, cell := range cells {
+		members := append([]int(nil), cell...)
+		sort.Slice(members, func(i, j int) bool { return order[members[i]] < order[members[j]] })
+		color := b.colorOf(sg, members[0])
+		for rank, l := range members {
+			nd.gammaVal[l] = color + rank
+		}
+	}
+	nd.Cert = leafCert(nd, sg, cells, b)
+}
+
+// leafCert encodes the canonical form of a leaf exactly: the (color,
+// count) profile followed by the edge list relabeled by γg — the colored
+// graph C(g, πg) — then hashed.
+func leafCert(nd *Node, sg *subgraph, cells [][]int, b *builder) []byte {
+	var body bytes.Buffer
+	body.WriteByte('l')
+	for _, cell := range cells {
+		body.Write(encodeInts(b.colorOf(sg, cell[0]), len(cell)))
+	}
+	edges := make([]uint64, 0, sg.local.M())
+	for _, e := range sg.local.Edges() {
+		u, v := nd.gammaVal[e[0]], nd.gammaVal[e[1]]
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, uint64(u)<<32|uint64(v))
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	for _, e := range edges {
+		body.Write(encodeInts(int(e>>32), int(e&0xffffffff)))
+	}
+	return hashParts(body.Bytes())
+}
+
+// combineST implements Algorithm 5: children are sorted by certificate;
+// the child order and the within-child canonical orders together rank the
+// same-colored vertices of g, yielding γg. It also recomputes the node's
+// certificate from the descriptor and the sorted child certificates.
+// It is re-runnable: twin expansion (Section 6.1) calls it again after
+// inserting children.
+func (b *builder) combineST(nd *Node) {
+	sort.SliceStable(nd.Children, func(i, j int) bool {
+		return bytes.Compare(nd.Children[i].Cert, nd.Children[j].Cert) < 0
+	})
+	// Recompute Verts as the union of children (expansion changes it).
+	total := 0
+	for _, c := range nd.Children {
+		total += len(c.Verts)
+	}
+	verts := make([]int, 0, total)
+	for _, c := range nd.Children {
+		verts = append(verts, c.Verts...)
+	}
+	sort.Ints(verts)
+	nd.Verts = verts
+
+	// Rank same-colored vertices: child order first, within-child γ order
+	// second (lines 1–5 of Algorithm 5).
+	rank := map[int]int{}
+	gval := make(map[int]int, total)
+	for _, c := range nd.Children {
+		ordered := vertsByGamma(c)
+		for _, v := range ordered {
+			color := b.t.colors[v]
+			gval[v] = color + rank[color]
+			rank[color]++
+		}
+	}
+	nd.gammaVal = make([]int, len(nd.Verts))
+	for i, v := range nd.Verts {
+		nd.gammaVal[i] = gval[v]
+	}
+
+	// Certificate: divide kind + removal descriptor + ordered child certs.
+	var body bytes.Buffer
+	body.WriteByte('i')
+	body.Write(nd.desc)
+	for _, c := range nd.Children {
+		body.Write(c.Cert)
+	}
+	nd.Cert = hashParts(body.Bytes())
+}
+
+// vertsByGamma returns a node's vertices ordered by their canonical label
+// within the node.
+func vertsByGamma(nd *Node) []int {
+	idx := make([]int, len(nd.Verts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool { return nd.gammaVal[idx[a]] < nd.gammaVal[idx[c]] })
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = nd.Verts[j]
+	}
+	return out
+}
+
+func hashParts(parts ...[]byte) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+func encodeInts(xs ...int) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dvicl/internal/graph"
+)
+
+// subgraph is a working colored subgraph (g, πg) during construction:
+// local vertex i of the (possibly edge-reduced) graph corresponds to the
+// original vertex verts[i]. The projected coloring πg is implicit — it is
+// the global color array restricted to verts (Theorem 6.1).
+type subgraph struct {
+	verts []int // sorted original ids
+	local *graph.Graph
+}
+
+type builder struct {
+	t       *Tree
+	opt     Options
+	scratch *scratch
+	// sem is the token bucket bounding concurrent subtree builders
+	// (nil when sequential).
+	sem chan struct{}
+
+	mu        sync.Mutex
+	truncated bool
+}
+
+// markTruncated records that some leaf search hit its budget.
+func (b *builder) markTruncated() {
+	b.mu.Lock()
+	b.truncated = true
+	b.mu.Unlock()
+}
+
+func (b *builder) wasTruncated() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.truncated
+}
+
+// scratch holds reusable per-builder buffers so dividing a million-vertex
+// graph does not allocate maps per node.
+type scratch struct {
+	localIdx []int32 // global vertex -> local index+1; 0 = absent
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{localIdx: make([]int32, n)}
+}
+
+// subgraphOf induces the subgraph of the original graph on verts.
+func (b *builder) subgraphOf(verts []int) *subgraph {
+	sorted := append([]int(nil), verts...)
+	sort.Ints(sorted)
+	idx := b.scratch.localIdx
+	for i, v := range sorted {
+		idx[v] = int32(i) + 1
+	}
+	gb := graph.NewBuilder(len(sorted))
+	for i, v := range sorted {
+		b.t.g.Neighbors(v, func(w int) {
+			if j := idx[w]; j != 0 && int(j-1) > i {
+				gb.AddEdge(i, int(j-1))
+			}
+		})
+	}
+	for _, v := range sorted {
+		idx[v] = 0
+	}
+	return &subgraph{verts: sorted, local: gb.Build()}
+}
+
+// induceLocal induces a child subgraph from sg on the given local indices,
+// preserving sg's (possibly already reduced) edge set.
+func induceLocal(sg *subgraph, locals []int) *subgraph {
+	sort.Ints(locals)
+	pos := make(map[int]int, len(locals))
+	verts := make([]int, len(locals))
+	for i, l := range locals {
+		pos[l] = i
+		verts[i] = sg.verts[l]
+	}
+	gb := graph.NewBuilder(len(locals))
+	for i, l := range locals {
+		sg.local.Neighbors(l, func(w int) {
+			if j, ok := pos[w]; ok && j > i {
+				gb.AddEdge(i, j)
+			}
+		})
+	}
+	return &subgraph{verts: verts, local: gb.Build()}
+}
+
+// colorOf returns the projected color πg(v) for local vertex l of sg,
+// which equals the global color (Theorem 6.1).
+func (b *builder) colorOf(sg *subgraph, l int) int {
+	return b.t.colors[sg.verts[l]]
+}
+
+// cellsOf groups sg's local vertices by color, ordered by color. Each
+// cell's locals are ascending.
+func (b *builder) cellsOf(sg *subgraph) [][]int {
+	byColor := map[int][]int{}
+	var colors []int
+	for l := range sg.verts {
+		c := b.colorOf(sg, l)
+		if _, ok := byColor[c]; !ok {
+			colors = append(colors, c)
+		}
+		byColor[c] = append(byColor[c], l)
+	}
+	sort.Ints(colors)
+	cells := make([][]int, 0, len(colors))
+	for _, c := range colors {
+		cells = append(cells, byColor[c])
+	}
+	return cells
+}
+
+// divideResult is the outcome of a successful DivideI or DivideS.
+type divideResult struct {
+	kind     DivideKind
+	children []*subgraph
+	// desc is the removal descriptor folded into the parent certificate:
+	// it records, in color terms, exactly which edges the division
+	// removed, so the certificate remains a complete isomorphism
+	// invariant (see combine.go).
+	desc []byte
+}
+
+// divideI implements Algorithm 2: isolate every singleton cell of πg as a
+// one-vertex subgraph and split the remainder into connected components.
+// It returns nil when the division would not produce at least two
+// children (the node "cannot be disconnected by DivideI").
+func (b *builder) divideI(sg *subgraph) *divideResult {
+	n := len(sg.verts)
+	colorCount := map[int]int{}
+	for l := 0; l < n; l++ {
+		colorCount[b.colorOf(sg, l)]++
+	}
+	var singletons []int // local ids whose projected cell is {v}
+	for l := 0; l < n; l++ {
+		if colorCount[b.colorOf(sg, l)] == 1 {
+			singletons = append(singletons, l)
+		}
+	}
+	var rest []int
+	isSingleton := make(map[int]bool, len(singletons))
+	for _, l := range singletons {
+		isSingleton[l] = true
+	}
+	for l := 0; l < n; l++ {
+		if !isSingleton[l] {
+			rest = append(rest, l)
+		}
+	}
+
+	var children []*subgraph
+	// Descriptor: by equitability, a singleton cell {v} is adjacent to
+	// all-or-none of every other cell, so (color(v), neighbor colors)
+	// reconstructs every removed edge. Entries are sorted by color —
+	// singleton cells have distinct colors — so the descriptor is
+	// isomorphism-invariant regardless of vertex numbering.
+	type axisEntry struct {
+		color    int
+		nbColors []int
+	}
+	entries := make([]axisEntry, 0, len(singletons))
+	for _, l := range singletons {
+		children = append(children, &subgraph{
+			verts: []int{sg.verts[l]},
+			local: graph.FromEdges(1, nil),
+		})
+		var nbColors []int
+		seen := map[int]bool{}
+		sg.local.Neighbors(l, func(w int) {
+			c := b.colorOf(sg, w)
+			if !seen[c] {
+				seen[c] = true
+				nbColors = append(nbColors, c)
+			}
+		})
+		sort.Ints(nbColors)
+		entries = append(entries, axisEntry{b.colorOf(sg, l), nbColors})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].color < entries[j].color })
+	desc := newDescriptor(DividedI)
+	for _, e := range entries {
+		desc.singleton(e.color, e.nbColors)
+	}
+	if len(rest) > 0 {
+		restSub := induceLocal(sg, rest)
+		for _, comp := range restSub.local.ConnectedComponents() {
+			children = append(children, induceLocal(restSub, comp))
+		}
+	}
+	if len(children) < 2 {
+		return nil
+	}
+	return &divideResult{kind: DividedI, children: children, desc: desc.bytes()}
+}
+
+// divideS implements Algorithm 3: remove the edges of every cell that
+// induces a clique and of every cell pair that forms a complete bipartite
+// graph (Theorem 6.4 shows this preserves Aut(g, πg)), then split into
+// connected components. It returns nil if nothing was removed or the
+// removal does not disconnect the subgraph.
+func (b *builder) divideS(sg *subgraph) *divideResult {
+	n := len(sg.verts)
+	colorCount := map[int]int{}
+	for l := 0; l < n; l++ {
+		colorCount[b.colorOf(sg, l)]++
+	}
+	// Count edges per (color, color) pair.
+	type pair struct{ a, b int }
+	edgeCount := map[pair]int{}
+	for l := 0; l < n; l++ {
+		cl := b.colorOf(sg, l)
+		sg.local.Neighbors(l, func(w int) {
+			if w < l {
+				return
+			}
+			cw := b.colorOf(sg, w)
+			p := pair{cl, cw}
+			if p.a > p.b {
+				p.a, p.b = p.b, p.a
+			}
+			edgeCount[p]++
+		})
+	}
+	removed := map[pair]bool{}
+	var removedPairs []pair
+	for p, cnt := range edgeCount {
+		if p.a == p.b {
+			k := colorCount[p.a]
+			if k >= 2 && cnt == k*(k-1)/2 {
+				removed[p] = true
+				removedPairs = append(removedPairs, p)
+			}
+		} else {
+			if cnt > 0 && cnt == colorCount[p.a]*colorCount[p.b] {
+				removed[p] = true
+				removedPairs = append(removedPairs, p)
+			}
+		}
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	// Rebuild the reduced graph without the removed color-complete edges.
+	gb := graph.NewBuilder(n)
+	for l := 0; l < n; l++ {
+		cl := b.colorOf(sg, l)
+		sg.local.Neighbors(l, func(w int) {
+			if w < l {
+				return
+			}
+			p := pair{cl, b.colorOf(sg, w)}
+			if p.a > p.b {
+				p.a, p.b = p.b, p.a
+			}
+			if !removed[p] {
+				gb.AddEdge(l, w)
+			}
+		})
+	}
+	reduced := &subgraph{verts: sg.verts, local: gb.Build()}
+	comps := reduced.local.ConnectedComponents()
+	if len(comps) < 2 {
+		return nil
+	}
+	sort.Slice(removedPairs, func(i, j int) bool {
+		if removedPairs[i].a != removedPairs[j].a {
+			return removedPairs[i].a < removedPairs[j].a
+		}
+		return removedPairs[i].b < removedPairs[j].b
+	})
+	desc := newDescriptor(DividedS)
+	for _, p := range removedPairs {
+		desc.pair(p.a, p.b)
+	}
+	children := make([]*subgraph, 0, len(comps))
+	for _, comp := range comps {
+		children = append(children, induceLocal(reduced, comp))
+	}
+	return &divideResult{kind: DividedS, children: children, desc: desc.bytes()}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDumpFig1Golden renders the AutoTree of the paper's example graph
+// (Fig. 1(a)) — the analogue of the paper's Figures 4 and 8 — and checks
+// the structural facts the figures show: the hub is an axis singleton,
+// the triangle's vertices are three symmetric singleton leaves, and the
+// C4 forms symmetric sibling groups.
+func TestDumpFig1Golden(t *testing.T) {
+	tree := Build(fig1(), nil, Options{DisableTwinSimplification: true})
+	var sb strings.Builder
+	if err := tree.Dump(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	t.Logf("AutoTree of Fig. 1(a):\n%s", out)
+
+	if !strings.Contains(out, "internal divide=I") {
+		t.Error("root should be divided by DivideI (hub axis)")
+	}
+	if strings.Count(out, "singleton") < 4 {
+		t.Errorf("expected at least 4 singleton leaves:\n%s", out)
+	}
+	if !strings.Contains(out, "symmetric sibling") {
+		t.Errorf("expected symmetric sibling markers:\n%s", out)
+	}
+	// Dump must be deterministic.
+	var sb2 strings.Builder
+	if err := tree.Dump(&sb2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("Dump is not deterministic")
+	}
+}
+
+func TestDumpElision(t *testing.T) {
+	tree := Build(complete(20), nil, Options{})
+	var sb strings.Builder
+	if err := tree.Dump(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "…+16") {
+		t.Fatalf("vertex elision missing:\n%s", sb.String())
+	}
+}
+
+func TestDumpEmpty(t *testing.T) {
+	tree := &Tree{}
+	var sb strings.Builder
+	if err := tree.Dump(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatalf("empty dump = %q", sb.String())
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"dvicl/internal/graph"
+)
+
+// Known-answer battery: DviCL's |Aut| on classical graph families with
+// group orders from the literature, exercising every divide/combine path.
+
+func wheel(n int) *graph.Graph { // W_n: cycle C_n plus a hub
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+		edges = append(edges, [2]int{i, n})
+	}
+	return graph.FromEdges(n+1, edges)
+}
+
+func hypercube(d int) *graph.Graph { // Q_d
+	n := 1 << d
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if w > v {
+				edges = append(edges, [2]int{v, w})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func completeMultipartite(parts ...int) *graph.Graph {
+	total := 0
+	var start []int
+	for _, p := range parts {
+		start = append(start, total)
+		total += p
+	}
+	var edges [][2]int
+	for pi := range parts {
+		for pj := pi + 1; pj < len(parts); pj++ {
+			for a := 0; a < parts[pi]; a++ {
+				for b := 0; b < parts[pj]; b++ {
+					edges = append(edges, [2]int{start[pi] + a, start[pj] + b})
+				}
+			}
+		}
+	}
+	return graph.FromEdges(total, edges)
+}
+
+func caterpillar(spine int, legs []int) *graph.Graph {
+	n := spine
+	for _, l := range legs {
+		n += l
+	}
+	var edges [][2]int
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	next := spine
+	for i, l := range legs {
+		for k := 0; k < l; k++ {
+			edges = append(edges, [2]int{i, next})
+			next++
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func binaryTree(depth int) *graph.Graph {
+	n := (1 << (depth + 1)) - 1
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{v, (v - 1) / 2})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func fact(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+func mulAll(xs ...*big.Int) *big.Int {
+	out := big.NewInt(1)
+	for _, x := range xs {
+		out.Mul(out, x)
+	}
+	return out
+}
+
+func pow2(k int) *big.Int { return new(big.Int).Lsh(big.NewInt(1), uint(k)) }
+
+func TestKnownGroupOrders(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want *big.Int
+	}{
+		// Wheels: the hub is fixed, the rim keeps its dihedral group.
+		{"W5", wheel(5), big.NewInt(10)},
+		{"W8", wheel(8), big.NewInt(16)},
+		// Hypercubes: |Aut(Q_d)| = 2^d · d!.
+		{"Q3", hypercube(3), mulAll(pow2(3), fact(3))},
+		{"Q4", hypercube(4), mulAll(pow2(4), fact(4))},
+		// Complete multipartite with equal parts: wreath S_a wr S_k.
+		{"K222", completeMultipartite(2, 2, 2), mulAll(fact(2), fact(2), fact(2), fact(3))},
+		{"K333", completeMultipartite(3, 3, 3), mulAll(fact(3), fact(3), fact(3), fact(3))},
+		// Unequal parts: direct product only.
+		{"K234", completeMultipartite(2, 3, 4), mulAll(fact(2), fact(3), fact(4))},
+		// Caterpillar with asymmetric leg counts: the spine is rigid (no
+		// mirror since [2,3,2,2] reversed differs) and only legs permute.
+		{"Caterpillar", caterpillar(4, []int{2, 3, 2, 2}), mulAll(fact(2), fact(3), fact(2), fact(2))},
+		// Perfect binary trees: iterated wreath; depth d has order
+		// 2^(2^d - 1): depth 2 → 2^3 = 8, depth 3 → 2^7 = 128.
+		{"BinTree2", binaryTree(2), pow2(3)},
+		{"BinTree3", binaryTree(3), pow2(7)},
+		// Disjoint unions of equal components: wreath product.
+		{"4xK3", disjointCopies(complete(3), 4), mulAll(fact(3), fact(3), fact(3), fact(3), fact(4))},
+		// Matching of 5 edges: S2 wr S5.
+		{"5xK2", disjointCopies(complete(2), 5), mulAll(pow2(5), fact(5))},
+	}
+	for _, mode := range bothModes {
+		for _, tc := range cases {
+			tree := Build(tc.g, nil, mode.opt)
+			if tree.AutOrder().Cmp(tc.want) != 0 {
+				t.Errorf("%s/%s: |Aut| = %v, want %v", mode.name, tc.name, tree.AutOrder(), tc.want)
+			}
+			if err := tree.Verify(); err != nil {
+				t.Errorf("%s/%s: %v", mode.name, tc.name, err)
+			}
+		}
+	}
+}
+
+func disjointCopies(g *graph.Graph, k int) *graph.Graph {
+	n := g.N()
+	b := graph.NewBuilder(n * k)
+	for c := 0; c < k; c++ {
+		for _, e := range g.Edges() {
+			b.AddEdge(c*n+e[0], c*n+e[1])
+		}
+	}
+	return b.Build()
+}
+
+// TestKnownOrbitCounts pins orbit structure on the same families.
+func TestKnownOrbitCounts(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         *graph.Graph
+		wantCells int
+	}{
+		{"W6", wheel(6), 2},                                // rim, hub
+		{"Q3", hypercube(3), 1},                            // vertex-transitive
+		{"K234", completeMultipartite(2, 3, 4), 3},         // one orbit per part
+		{"BinTree2", binaryTree(2), 3},                     // root, middle, leaves
+		{"4xK3", disjointCopies(complete(3), 4), 1},        // all 12 equivalent
+		{"Caterpillar", caterpillar(3, []int{2, 0, 2}), 3}, // mirror: {0,2},{1},{legs}
+	}
+	for _, tc := range cases {
+		tree := Build(tc.g, nil, Options{})
+		if got := len(tree.Orbits()); got != tc.wantCells {
+			t.Errorf("%s: %d orbits, want %d (%v)", tc.name, got, tc.wantCells, tree.Orbits())
+		}
+	}
+}

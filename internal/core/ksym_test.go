@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvicl/internal/graph"
+)
+
+// minOrbitSize rebuilds the AutoTree of g and returns the smallest orbit.
+func minOrbitSize(t *testing.T, g *graph.Graph) int {
+	t.Helper()
+	tree := Build(g, nil, Options{})
+	min := g.N()
+	for _, o := range tree.Orbits() {
+		if len(o) < min {
+			min = len(o)
+		}
+	}
+	return min
+}
+
+func TestKSymmetrizeRigidPath(t *testing.T) {
+	// A path P5: center fixed, ends/inner mirrored. k=3 must give every
+	// vertex at least 2 counterparts.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	tree := Build(g, nil, Options{})
+	for _, k := range []int{2, 3, 5} {
+		out, err := KSymmetrize(tree, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := minOrbitSize(t, out); got < k {
+			t.Fatalf("k=%d: min orbit %d", k, got)
+		}
+		// Anonymization must not delete anything: the original is an
+		// induced subgraph on vertices 0..n-1.
+		for _, e := range g.Edges() {
+			if !out.HasEdge(e[0], e[1]) {
+				t.Fatalf("k=%d: original edge (%d,%d) lost", k, e[0], e[1])
+			}
+		}
+	}
+}
+
+func TestKSymmetrizeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + r.Intn(12)
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Intn(3) == 0 {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		g := graph.FromEdges(n, edges)
+		tree := Build(g, nil, Options{})
+		if tree.Root.Kind != KindInternal || tree.Root.Divide != DividedI {
+			continue // regular graph: out of scope by contract
+		}
+		k := 2 + r.Intn(3)
+		out, err := KSymmetrize(tree, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := minOrbitSize(t, out); got < k {
+			t.Fatalf("trial %d: k=%d min orbit %d (edges=%v)", trial, k, got, g.Edges())
+		}
+	}
+}
+
+func TestKSymmetrizeKOne(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	tree := Build(g, nil, Options{})
+	out, err := KSymmetrize(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(g) {
+		t.Fatal("k=1 must be a no-op")
+	}
+}
+
+func TestKSymmetrizeRejectsRegular(t *testing.T) {
+	g := cycle(6) // vertex-transitive: unit root, no DivideI
+	tree := Build(g, nil, Options{})
+	if _, err := KSymmetrize(tree, 2); err == nil {
+		t.Fatal("expected error on a regular graph")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvicl/internal/graph"
+)
+
+func TestQuotientStar(t *testing.T) {
+	// Star K1,5: orbits {hub}, {leaves} -> quotient is a single edge.
+	g := star(5)
+	tree := Build(g, nil, Options{})
+	q := tree.Quotient()
+	if q.Graph.N() != 2 || q.Graph.M() != 1 {
+		t.Fatalf("quotient n=%d m=%d, want 2/1", q.Graph.N(), q.Graph.M())
+	}
+	if len(q.Orbits) != 2 {
+		t.Fatalf("orbits = %v", q.Orbits)
+	}
+	for v := 1; v <= 5; v++ {
+		if q.OrbitOf[v] != q.OrbitOf[1] {
+			t.Fatal("leaves not in one orbit")
+		}
+	}
+}
+
+func TestQuotientVertexTransitive(t *testing.T) {
+	// C7 is vertex-transitive: quotient is a single vertex, no edges.
+	g := cycle(7)
+	tree := Build(g, nil, Options{})
+	q := tree.Quotient()
+	if q.Graph.N() != 1 || q.Graph.M() != 0 {
+		t.Fatalf("quotient of C7: n=%d m=%d", q.Graph.N(), q.Graph.M())
+	}
+}
+
+func TestQuotientRigid(t *testing.T) {
+	// A rigid graph's quotient is itself.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}, {0, 3}})
+	tree := Build(g, nil, Options{})
+	if tree.AutOrder().Int64() == 1 {
+		q := tree.Quotient()
+		if q.Graph.N() != g.N() || q.Graph.M() != g.M() {
+			t.Fatalf("rigid quotient changed: %d/%d", q.Graph.N(), q.Graph.M())
+		}
+	}
+}
+
+func TestOrbitEntropy(t *testing.T) {
+	// Vertex-transitive: zero entropy.
+	tree := Build(cycle(8), nil, Options{})
+	if e := tree.OrbitEntropy(); e != 0 {
+		t.Fatalf("C8 entropy = %v, want 0", e)
+	}
+	// Rigid: maximal entropy log2(n).
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}, {0, 3}})
+	tr := Build(g, nil, Options{})
+	if tr.AutOrder().Int64() == 1 {
+		want := math.Log2(5)
+		if e := tr.OrbitEntropy(); math.Abs(e-want) > 1e-12 {
+			t.Fatalf("rigid entropy = %v, want %v", e, want)
+		}
+	}
+	// Star K1,3: orbits sizes 1 and 3 of n=4: H = -(1/4)log(1/4)-(3/4)log(3/4).
+	st := Build(star(3), nil, Options{})
+	want := -(0.25*math.Log2(0.25) + 0.75*math.Log2(0.75))
+	if e := st.OrbitEntropy(); math.Abs(e-want) > 1e-12 {
+		t.Fatalf("star entropy = %v, want %v", e, want)
+	}
+}
+
+func TestSymmetryRatioAndHistogram(t *testing.T) {
+	tree := Build(star(4), nil, Options{})
+	if r := tree.SymmetryRatio(); r != 0.8 {
+		t.Fatalf("symmetry ratio = %v, want 0.8 (4 of 5)", r)
+	}
+	hist := tree.OrbitSizeHistogram()
+	// Orbits: one of size 1 (hub), one of size 4 (leaves).
+	if len(hist) != 2 || hist[0] != [2]int{1, 1} || hist[1] != [2]int{4, 1} {
+		t.Fatalf("histogram = %v", hist)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+)
+
+// buildSimplified implements the structural-equivalence optimization of
+// Section 6.1: vertices with identical neighbor sets (twins) are
+// interchangeable, so each twin class is collapsed to one representative
+// before dividing, and the finished tree is expanded by duplicating the
+// representative's singleton leaf.
+//
+// We collapse a twin class only when it coincides with an entire color
+// class of the equitable coloring. In that case the representative's
+// projected cell is a singleton everywhere, so DivideI isolates it into a
+// singleton leaf and expansion is exactly the paper's "add sibling leaf
+// nodes" case. Twin classes that share a color class with other vertices
+// are left to the regular machinery (DivideS isolates them anyway, since
+// for an equitable coloring a twin class's neighborhood is a union of
+// whole cells, i.e. removable bicliques).
+func (b *builder) buildSimplified() *Node {
+	n := b.t.g.N()
+	twinsOf := b.wholeClassTwins()
+	if len(twinsOf) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return b.cl(b.subgraphOf(all))
+	}
+	removed := make([]bool, n)
+	for _, twins := range twinsOf {
+		for _, v := range twins {
+			removed[v] = true
+		}
+	}
+	var kept []int
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			kept = append(kept, v)
+		}
+	}
+	root := b.cl(b.subgraphOf(kept))
+	expanded := b.expandTwins(root, twinsOf)
+	if len(expanded) == 1 {
+		return expanded[0]
+	}
+	// The simplified graph degenerated to a single twin representative:
+	// wrap the expanded siblings in a fresh internal node, mirroring what
+	// DivideI on the unsimplified graph would have produced.
+	wrapper := &Node{Kind: KindInternal, Divide: DividedI, desc: newDescriptor(DividedI).bytes()}
+	wrapper.Children = expanded
+	b.combineST(wrapper)
+	return wrapper
+}
+
+// wholeClassTwins finds every color class whose members are pairwise
+// structural equivalent, returning representative -> other members.
+func (b *builder) wholeClassTwins() map[int][]int {
+	n := b.t.g.N()
+	classes := map[int][]int{}
+	for v := 0; v < n; v++ {
+		c := b.t.colors[v]
+		classes[c] = append(classes[c], v)
+	}
+	out := map[int][]int{}
+	for _, members := range classes {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Ints(members)
+		rep := members[0]
+		repNb := b.t.g.NeighborSlice(rep)
+		allTwins := true
+		for _, v := range members[1:] {
+			if !sameNeighbors(repNb, b.t.g.NeighborSlice(v)) {
+				allTwins = false
+				break
+			}
+		}
+		if allTwins {
+			out[rep] = members[1:]
+		}
+	}
+	return out
+}
+
+func sameNeighbors(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// expandTwins restores collapsed twin classes: a singleton leaf holding a
+// representative becomes that leaf plus one sibling singleton leaf per
+// twin; internal nodes re-run CombineST over the widened child list so
+// Verts, γg and certificates stay consistent.
+func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) []*Node {
+	switch nd.Kind {
+	case KindSingleton:
+		twins, ok := twinsOf[nd.Verts[0]]
+		if !ok {
+			return []*Node{nd}
+		}
+		out := []*Node{nd}
+		for _, v := range twins {
+			leaf := &Node{Verts: []int{v}}
+			b.makeSingleton(leaf)
+			out = append(out, leaf)
+		}
+		return out
+	case KindLeaf:
+		// A collapsed representative's cell is a singleton in every
+		// subgraph, so it can never sit inside a non-singleton leaf.
+		for _, v := range nd.Verts {
+			if _, ok := twinsOf[v]; ok {
+				panic("core: twin representative inside a non-singleton leaf")
+			}
+		}
+		return []*Node{nd}
+	default:
+		var children []*Node
+		for _, c := range nd.Children {
+			children = append(children, b.expandTwins(c, twinsOf)...)
+		}
+		nd.Children = children
+		// Re-run CombineST unconditionally: any expansion in the subtree
+		// changed child certificates, so the sort, γg and certificate must
+		// be recomputed.
+		b.combineST(nd)
+		return []*Node{nd}
+	}
+}

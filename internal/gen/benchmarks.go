@@ -1,0 +1,318 @@
+// Package gen generates the evaluation workloads of the paper: the nine
+// benchmark-graph families of Table 2 (from the bliss collection) and
+// deterministic synthetic stand-ins for the 22 real-world graphs of
+// Table 1 (which are not available offline — see DESIGN.md for the
+// substitution rationale).
+//
+// pg2, ag2, grid-w, had and cfi are constructed exactly (projective and
+// affine planes over GF(q), toroidal grids, Sylvester-Hadamard graphs,
+// Cai–Fürer–Immerman gadget graphs). mz-aug, fpga, difp and s3 are
+// outputs of SAT tools we cannot run offline, so structurally similar
+// generators with matching size/degree/regularity profiles stand in.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvicl/internal/gf"
+	"dvicl/internal/graph"
+)
+
+// PG2 builds the point–line incidence graph of the projective plane
+// PG(2, q): q²+q+1 points, q²+q+1 lines, each line incident with q+1
+// points. pg2-49 of the paper is PG2(49).
+func PG2(q int) (*graph.Graph, error) {
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, err
+	}
+	points := projectivePoints(f)
+	np := len(points) // q²+q+1
+	if np != q*q+q+1 {
+		return nil, fmt.Errorf("gen: PG2(%d): %d points, want %d", q, np, q*q+q+1)
+	}
+	// Lines are dual points [u:v:w]; point (x:y:z) lies on it iff
+	// ux + vy + wz = 0.
+	b := graph.NewBuilder(2 * np)
+	for li, l := range points {
+		for pi, p := range points {
+			s := f.Add(f.Add(f.Mul(l[0], p[0]), f.Mul(l[1], p[1])), f.Mul(l[2], p[2]))
+			if s == 0 {
+				b.AddEdge(pi, np+li)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// projectivePoints enumerates canonical representatives of the projective
+// points of GF(q)³: (1, a, b), (0, 1, a), (0, 0, 1).
+func projectivePoints(f *gf.Field) [][3]int {
+	q := f.Q
+	out := make([][3]int, 0, q*q+q+1)
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			out = append(out, [3]int{1, a, b})
+		}
+	}
+	for a := 0; a < q; a++ {
+		out = append(out, [3]int{0, 1, a})
+	}
+	out = append(out, [3]int{0, 0, 1})
+	return out
+}
+
+// AG2 builds the point–line incidence graph of the affine plane AG(2, q):
+// q² points and q²+q lines (y = mx + b and the vertical x = c), each line
+// incident with q points. ag2-49 of the paper is AG2(49).
+func AG2(q int) (*graph.Graph, error) {
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, err
+	}
+	np := q * q
+	nl := q*q + q
+	b := graph.NewBuilder(np + nl)
+	point := func(x, y int) int { return x*q + y }
+	// Lines y = mx + c, indexed m*q + c.
+	for m := 0; m < q; m++ {
+		for c := 0; c < q; c++ {
+			li := np + m*q + c
+			for x := 0; x < q; x++ {
+				y := f.Add(f.Mul(m, x), c)
+				b.AddEdge(point(x, y), li)
+			}
+		}
+	}
+	// Vertical lines x = c, indexed q² + c.
+	for c := 0; c < q; c++ {
+		li := np + q*q + c
+		for y := 0; y < q; y++ {
+			b.AddEdge(point(c, y), li)
+		}
+	}
+	return b.Build(), nil
+}
+
+// GridW builds the wrapped (toroidal) grid of the given dimension and
+// side: side^dim vertices, each adjacent to its 2·dim wrap-around
+// neighbors. grid-w-3-20 of the paper is GridW(3, 20).
+func GridW(dim, side int) *graph.Graph {
+	n := 1
+	for i := 0; i < dim; i++ {
+		n *= side
+	}
+	b := graph.NewBuilder(n)
+	coords := make([]int, dim)
+	for v := 0; v < n; v++ {
+		c := v
+		for i := 0; i < dim; i++ {
+			coords[i] = c % side
+			c /= side
+		}
+		stride := 1
+		for i := 0; i < dim; i++ {
+			next := v - coords[i]*stride + ((coords[i]+1)%side)*stride
+			b.AddEdge(v, next)
+			stride *= side
+		}
+	}
+	return b.Build()
+}
+
+// Hadamard builds the Hadamard graph of the Sylvester matrix H_n (n a
+// power of two): vertices r⁺, r⁻, c⁺, c⁻ for every row/column; r and c
+// are joined with signs matching H[r][c], and each ± pair is joined.
+// Every vertex has degree n+1. had-256 of the paper is Hadamard(256).
+func Hadamard(n int) *graph.Graph {
+	if n&(n-1) != 0 || n == 0 {
+		panic("gen: Hadamard order must be a power of two")
+	}
+	// Vertex layout: rows+ [0,n), rows- [n,2n), cols+ [2n,3n), cols- [3n,4n).
+	b := graph.NewBuilder(4 * n)
+	rp := func(i int) int { return i }
+	rm := func(i int) int { return n + i }
+	cp := func(j int) int { return 2*n + j }
+	cm := func(j int) int { return 3*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Sylvester: H[i][j] = +1 iff popcount(i&j) is even.
+			if popcount(uint(i&j))%2 == 0 {
+				b.AddEdge(rp(i), cp(j))
+				b.AddEdge(rm(i), cm(j))
+			} else {
+				b.AddEdge(rp(i), cm(j))
+				b.AddEdge(rm(i), cp(j))
+			}
+		}
+		b.AddEdge(rp(i), rm(i))
+		b.AddEdge(cp(i), cm(i))
+	}
+	return b.Build()
+}
+
+func popcount(x uint) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// CirculantCubic builds a 3-regular circulant on n vertices (n even):
+// ring edges i—i+1 plus diameters i—i+n/2. It serves as the base graph
+// for the CFI construction.
+func CirculantCubic(n int) *graph.Graph {
+	if n%2 != 0 {
+		panic("gen: CirculantCubic needs even n")
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		if i < n/2 {
+			b.AddEdge(i, i+n/2)
+		}
+	}
+	return b.Build()
+}
+
+// CircularLadder builds the prism graph CL_k (3-regular, 2k vertices):
+// two k-cycles joined by a perfect matching.
+func CircularLadder(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		b.AddEdge(i, (i+1)%k)
+		b.AddEdge(k+i, k+(i+1)%k)
+		b.AddEdge(i, k+i)
+	}
+	return b.Build()
+}
+
+// CFI applies the Cai–Fürer–Immerman construction to a 3-regular base
+// graph: every base vertex becomes a Fürer gadget (four "even-subset"
+// inner vertices and an outer pair per incident edge), and base edges
+// join outer pairs straight — or crossed for exactly one edge when twist
+// is set, producing the classic non-isomorphic companion that 1-WL cannot
+// distinguish from the original. cfi-200 of the paper is
+// CFI(CirculantCubic(200), false): 10·200 vertices, 3-regular.
+func CFI(base *graph.Graph, twist bool) *graph.Graph {
+	nb := base.N()
+	edges := base.Edges()
+	// Incident edge slots per vertex: position of each edge in the
+	// vertex's incidence list.
+	incident := make([][]int, nb) // vertex -> edge indices
+	for ei, e := range edges {
+		incident[e[0]] = append(incident[e[0]], ei)
+		incident[e[1]] = append(incident[e[1]], ei)
+	}
+	for v := 0; v < nb; v++ {
+		if len(incident[v]) != 3 {
+			panic("gen: CFI base graph must be 3-regular")
+		}
+	}
+	// Layout per gadget (10 vertices): 4 inner (even subsets of {0,1,2}),
+	// then outer pairs (slot s, sign b) at 4 + 2s + b.
+	per := 10
+	inner := func(v, s int) int { return per*v + s } // s in 0..3
+	outer := func(v, slot, bit int) int { return per*v + 4 + 2*slot + bit }
+	evenSubsets := [][3]int{{0, 0, 0}, {1, 1, 0}, {1, 0, 1}, {0, 1, 1}}
+	b := graph.NewBuilder(per * nb)
+	for v := 0; v < nb; v++ {
+		for si, sub := range evenSubsets {
+			for slot := 0; slot < 3; slot++ {
+				b.AddEdge(inner(v, si), outer(v, slot, sub[slot]))
+			}
+		}
+	}
+	slotOf := func(v, ei int) int {
+		for s, e := range incident[v] {
+			if e == ei {
+				return s
+			}
+		}
+		panic("gen: edge not incident")
+	}
+	for ei, e := range edges {
+		u, v := e[0], e[1]
+		su, sv := slotOf(u, ei), slotOf(v, ei)
+		crossed := twist && ei == 0
+		if crossed {
+			b.AddEdge(outer(u, su, 0), outer(v, sv, 1))
+			b.AddEdge(outer(u, su, 1), outer(v, sv, 0))
+		} else {
+			b.AddEdge(outer(u, su, 0), outer(v, sv, 0))
+			b.AddEdge(outer(u, su, 1), outer(v, sv, 1))
+		}
+	}
+	return b.Build()
+}
+
+// RigidCubic builds a deterministic 3-regular graph on n vertices (n
+// even) that is almost surely rigid (trivial automorphism group): a ring
+// plus a pseudo-random perfect matching. Rigidity is asserted by tests.
+func RigidCubic(n int, seed int64) *graph.Graph {
+	if n%2 != 0 {
+		panic("gen: RigidCubic needs even n")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	// Perfect matching avoiding ring edges.
+	for {
+		pm := r.Perm(n)
+		ok := true
+		for i := 0; i < n; i += 2 {
+			d := pm[i] - pm[i+1]
+			if d < 0 {
+				d = -d
+			}
+			if d == 1 || d == n-1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for i := 0; i < n; i += 2 {
+				b.AddEdge(pm[i], pm[i+1])
+			}
+			return b.Build()
+		}
+	}
+}
+
+// MzAug builds a Miyazaki-like augmented gadget graph standing in for the
+// paper's mz-aug-50 (we cannot run the original generator): the CFI
+// construction over a rigid cubic base, augmented uniformly inside every
+// gadget with the inner K4 and the three outer-pair edges. The
+// augmentation respects each gadget's symmetry, so — like the paper's
+// family — every refinement cell stays non-singleton, neither DivideI nor
+// DivideS can split the graph (the AutoTree is just the root), and the
+// leaf engines must do the work. MzAug(50) has 1000 vertices, 2400 edges
+// and maximum degree 6, close to Table 2's profile for mz-aug-50 (1000 /
+// 2300 / 6).
+func MzAug(k int) *graph.Graph {
+	base := RigidCubic(2*k, 77)
+	g := CFI(base, false)
+	nb := 2 * k
+	per := 10
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	for v := 0; v < nb; v++ {
+		// Inner K4.
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddEdge(per*v+i, per*v+j)
+			}
+		}
+		// Outer pair edges.
+		for slot := 0; slot < 3; slot++ {
+			b.AddEdge(per*v+4+2*slot, per*v+4+2*slot+1)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"fmt"
+
+	"dvicl/internal/graph"
+)
+
+// PaperStats records what the paper reports for a dataset (Table 1 or
+// Table 2), so the benchmark harness can print paper-vs-measured rows.
+type PaperStats struct {
+	N, M           int
+	MaxDeg         int
+	AvgDeg         float64
+	Cells, Singles int
+}
+
+// Dataset couples a name with a generator for its (stand-in) graph and
+// the paper's reported statistics.
+type Dataset struct {
+	Name  string
+	Paper PaperStats
+	// Build generates the graph at the given scale divisor (1 = paper
+	// size; 20 = 1/20 of the paper's vertices). Benchmark-family graphs
+	// ignore scale: they are constructed exactly.
+	Build func(scale int) *graph.Graph
+}
+
+// socialSpec builds a Dataset backed by the Social generator, scaling the
+// paper's size down by the scale divisor.
+func socialSpec(name string, p PaperStats, twinFrac, pendantFrac float64, seed int64) Dataset {
+	return Dataset{
+		Name:  name,
+		Paper: p,
+		Build: func(scale int) *graph.Graph {
+			if scale < 1 {
+				scale = 1
+			}
+			return Social(SocialConfig{
+				Name:        name,
+				N:           p.N / scale,
+				M:           p.M / scale,
+				TwinFrac:    twinFrac,
+				PendantFrac: pendantFrac,
+				Seed:        seed,
+			})
+		},
+	}
+}
+
+// RealDatasets lists the 22 real-graph stand-ins of Table 1 with the
+// paper's reported statistics. Twin/pendant fractions are tuned per
+// dataset so the orbit-coloring profile (cells ≈ mostly singletons, a
+// small symmetric remainder) echoes the paper's last two columns.
+func RealDatasets() []Dataset {
+	// Fractions derive from the paper's singleton ratios: a graph whose
+	// orbit coloring has fewer singleton cells gets more twins/pendants.
+	return []Dataset{
+		socialSpec("Amazon", PaperStats{403394, 2443408, 2752, 12.11, 396034, 390706}, 0.015, 0.015, 101),
+		socialSpec("BerkStan", PaperStats{685230, 6649470, 84230, 19.41, 387172, 316162}, 0.18, 0.22, 102),
+		socialSpec("Epinions", PaperStats{75879, 405740, 3044, 10.69, 53067, 45552}, 0.12, 0.18, 103),
+		socialSpec("Gnutella", PaperStats{62586, 147892, 95, 4.73, 46098, 38216}, 0.10, 0.16, 104),
+		socialSpec("Google", PaperStats{875713, 4322051, 6332, 9.87, 525232, 424563}, 0.15, 0.22, 105),
+		socialSpec("LiveJournal", PaperStats{4036538, 34681189, 14815, 17.18, 3703527, 3518490}, 0.03, 0.05, 106),
+		socialSpec("NotreDame", PaperStats{325729, 1090108, 10721, 6.69, 115038, 89791}, 0.30, 0.34, 107),
+		socialSpec("Pokec", PaperStats{1632803, 22301964, 14854, 27.32, 1586176, 1561671}, 0.015, 0.02, 108),
+		socialSpec("Slashdot0811", PaperStats{77360, 469180, 2539, 12.13, 61457, 56219}, 0.08, 0.12, 109),
+		socialSpec("Slashdot0902", PaperStats{82168, 504229, 2552, 12.27, 65264, 59384}, 0.08, 0.12, 110),
+		socialSpec("Stanford", PaperStats{281903, 1992636, 38625, 14.14, 168967, 133992}, 0.16, 0.24, 111),
+		socialSpec("WikiTalk", PaperStats{2394385, 4659563, 100029, 3.89, 553199, 498161}, 0.28, 0.48, 112),
+		socialSpec("wikivote", PaperStats{7115, 100762, 1065, 28.32, 5789, 5283}, 0.06, 0.12, 113),
+		socialSpec("Youtube", PaperStats{1138499, 2990443, 28754, 5.25, 684471, 585349}, 0.16, 0.24, 114),
+		socialSpec("Orkut", PaperStats{3072627, 117185083, 33313, 11.19, 3042918, 3028961}, 0.004, 0.006, 115),
+		socialSpec("BuzzNet", PaperStats{101163, 2763066, 64289, 54.63, 77588, 76758}, 0.09, 0.14, 116),
+		socialSpec("Delicious", PaperStats{536408, 1366136, 3216, 5.09, 263961, 221669}, 0.22, 0.30, 117),
+		socialSpec("Digg", PaperStats{771229, 5907413, 17643, 15.32, 445181, 400605}, 0.17, 0.25, 118),
+		socialSpec("Flixster", PaperStats{2523386, 7918801, 1474, 6.28, 1047509, 928445}, 0.24, 0.34, 119),
+		socialSpec("Foursquare", PaperStats{639014, 3214986, 106218, 10.06, 364447, 315108}, 0.18, 0.24, 120),
+		socialSpec("Friendster", PaperStats{5689498, 14067887, 4423, 4.95, 2135136, 1973584}, 0.26, 0.36, 121),
+		socialSpec("Lastfm", PaperStats{1191812, 4519340, 5150, 7.58, 675962, 609605}, 0.18, 0.26, 122),
+	}
+}
+
+// BenchmarkDatasets lists the nine bliss-collection families of Table 2.
+// Scale is ignored: these graphs are fixed instances.
+func BenchmarkDatasets() []Dataset {
+	mk := func(name string, p PaperStats, build func() *graph.Graph) Dataset {
+		return Dataset{Name: name, Paper: p, Build: func(int) *graph.Graph { return build() }}
+	}
+	return []Dataset{
+		mk("ag2-49", PaperStats{4851, 120050, 50, 49.49, 2, 0}, func() *graph.Graph {
+			g, err := AG2(49)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}),
+		mk("cfi-200", PaperStats{2000, 3000, 3, 3, 800, 0}, func() *graph.Graph {
+			// A rigid cubic base reproduces the paper's orbit profile:
+			// 800 cells (one inner 4-cell and three outer 2-cells per
+			// gadget), none singleton.
+			return CFI(RigidCubic(200, 41), false)
+		}),
+		mk("difp-21-0-wal-rcr", PaperStats{16927, 44188, 1526, 5.22, 16215, 15755}, func() *graph.Graph {
+			return Circuit(CircuitConfig{
+				Name: "difp-21", N: 16927, M: 44188,
+				Buses: 6, BusDegree: 1500,
+				GadgetCopies: 24, GadgetSize: 6, GadgetAnchors: 4,
+				Seed: 201,
+			})
+		}),
+		mk("fpga11-20-uns-rcr", PaperStats{5100, 9240, 21, 3.62, 3531, 2418}, func() *graph.Graph {
+			return Circuit(CircuitConfig{
+				Name: "fpga11-20", N: 5100, M: 9240,
+				Buses: 40, BusDegree: 18,
+				GadgetCopies: 57, GadgetSize: 8, GadgetAnchors: 3,
+				Seed: 202,
+			})
+		}),
+		mk("grid-w-3-20", PaperStats{8000, 24000, 6, 6, 1, 0}, func() *graph.Graph {
+			return GridW(3, 20)
+		}),
+		mk("had-256", PaperStats{1024, 131584, 257, 257, 1, 0}, func() *graph.Graph {
+			return Hadamard(256)
+		}),
+		mk("mz-aug-50", PaperStats{1000, 2300, 6, 4.6, 250, 0}, func() *graph.Graph {
+			return MzAug(50)
+		}),
+		mk("pg2-49", PaperStats{4902, 122550, 50, 50, 1, 0}, func() *graph.Graph {
+			g, err := PG2(49)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}),
+		mk("s3-3-3-10", PaperStats{12974, 23798, 26, 3.67, 9146, 5318}, func() *graph.Graph {
+			return Circuit(CircuitConfig{
+				Name: "s3-3-3-10", N: 12974, M: 23798,
+				Buses: 30, BusDegree: 24,
+				GadgetCopies: 90, GadgetSize: 10, GadgetAnchors: 6,
+				Seed: 203,
+			})
+		}),
+	}
+}
+
+// FindDataset looks a dataset up by name across both catalogs.
+func FindDataset(name string) (Dataset, error) {
+	for _, d := range RealDatasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	for _, d := range BenchmarkDatasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}

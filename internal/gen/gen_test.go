@@ -1,0 +1,323 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"dvicl/internal/canon"
+	"dvicl/internal/core"
+)
+
+func TestPG2SmallOrders(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 9} {
+		g, err := PG2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np := q*q + q + 1
+		if g.N() != 2*np {
+			t.Fatalf("PG2(%d): n = %d, want %d", q, g.N(), 2*np)
+		}
+		if g.M() != np*(q+1) {
+			t.Fatalf("PG2(%d): m = %d, want %d", q, g.M(), np*(q+1))
+		}
+		// Incidence graph of a projective plane is (q+1)-regular.
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("PG2(%d): deg(%d) = %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		// Axiom: every two distinct points lie on exactly one common line.
+		pts := np
+		for a := 0; a < min(pts, 12); a++ {
+			for b := a + 1; b < min(pts, 12); b++ {
+				common := 0
+				g.Neighbors(a, func(l int) {
+					if g.HasEdge(b, l) {
+						common++
+					}
+				})
+				if common != 1 {
+					t.Fatalf("PG2(%d): points %d,%d share %d lines", q, a, b, common)
+				}
+			}
+		}
+	}
+}
+
+func TestPG249MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g, err := PG2(49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4902 || g.M() != 122550 || g.MaxDegree() != 50 {
+		t.Fatalf("pg2-49: n=%d m=%d dmax=%d, want 4902/122550/50",
+			g.N(), g.M(), g.MaxDegree())
+	}
+}
+
+func TestAG2SmallOrders(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7} {
+		g, err := AG2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 2*q*q+q {
+			t.Fatalf("AG2(%d): n = %d, want %d", q, g.N(), 2*q*q+q)
+		}
+		if g.M() != (q*q+q)*q {
+			t.Fatalf("AG2(%d): m = %d, want %d", q, g.M(), (q*q+q)*q)
+		}
+		// Every point is on q+1 lines; every line has q points.
+		for p := 0; p < q*q; p++ {
+			if g.Degree(p) != q+1 {
+				t.Fatalf("AG2(%d): point degree %d, want %d", q, g.Degree(p), q+1)
+			}
+		}
+		for l := q * q; l < g.N(); l++ {
+			if g.Degree(l) != q {
+				t.Fatalf("AG2(%d): line degree %d, want %d", q, g.Degree(l), q)
+			}
+		}
+	}
+}
+
+func TestAG249MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g, err := AG2(49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4851 || g.M() != 120050 || g.MaxDegree() != 50 {
+		t.Fatalf("ag2-49: n=%d m=%d dmax=%d, want 4851/120050/50",
+			g.N(), g.M(), g.MaxDegree())
+	}
+}
+
+func TestGridW(t *testing.T) {
+	g := GridW(3, 20)
+	if g.N() != 8000 || g.M() != 24000 {
+		t.Fatalf("grid-w-3-20: n=%d m=%d, want 8000/24000", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("torus degree %d at %d, want 6", g.Degree(v), v)
+		}
+	}
+	// Side 2 wraps double edges: 2^3 cube has degree 3.
+	c := GridW(3, 2)
+	if c.N() != 8 || c.M() != 12 {
+		t.Fatalf("GridW(3,2): n=%d m=%d, want cube 8/12", c.N(), c.M())
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	g := Hadamard(256)
+	if g.N() != 1024 || g.M() != 131584 || g.MaxDegree() != 257 {
+		t.Fatalf("had-256: n=%d m=%d dmax=%d, want 1024/131584/257",
+			g.N(), g.M(), g.MaxDegree())
+	}
+	small := Hadamard(4)
+	for v := 0; v < small.N(); v++ {
+		if small.Degree(v) != 5 {
+			t.Fatalf("Hadamard(4) degree %d, want 5", small.Degree(v))
+		}
+	}
+}
+
+func TestCFISizes(t *testing.T) {
+	g := CFI(CirculantCubic(200), false)
+	if g.N() != 2000 || g.M() != 3000 {
+		t.Fatalf("cfi-200: n=%d m=%d, want 2000/3000", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("CFI degree %d at %d, want 3", g.Degree(v), v)
+		}
+	}
+}
+
+// TestCFITwistNotIsomorphic is the defining property of the CFI family:
+// the twisted companion is not isomorphic to the original, although 1-WL
+// cannot tell them apart.
+func TestCFITwistNotIsomorphic(t *testing.T) {
+	base := CirculantCubic(10)
+	g1 := CFI(base, false)
+	g2 := CFI(base, true)
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", g1.N(), g1.M(), g2.N(), g2.M())
+	}
+	r1 := canon.Canonical(g1, nil, canon.Options{})
+	r2 := canon.Canonical(g2, nil, canon.Options{})
+	if bytes.Equal(r1.Cert, r2.Cert) {
+		t.Fatal("CFI twist produced an isomorphic graph")
+	}
+	// DviCL must agree.
+	t1 := core.Build(g1, nil, core.Options{})
+	t2 := core.Build(g2, nil, core.Options{})
+	if bytes.Equal(t1.CanonicalCert(), t2.CanonicalCert()) {
+		t.Fatal("DviCL certificates equal for CFI twist pair")
+	}
+}
+
+func TestMzAugProfile(t *testing.T) {
+	g := MzAug(50)
+	if g.N() != 1000 || g.M() != 2400 {
+		t.Fatalf("mz-aug-50: n=%d m=%d, want 1000/2400", g.N(), g.M())
+	}
+	if got := g.MaxDegree(); got != 6 {
+		t.Fatalf("max degree %d, want 6", got)
+	}
+	// The base must be rigid, and the augmentation must keep every
+	// refinement cell non-singleton (the paper's mz-aug profile) so the
+	// AutoTree degenerates to the root.
+	base := RigidCubic(20, 77)
+	res := canon.Canonical(base, nil, canon.Options{})
+	if order := len(res.Generators); order != 0 {
+		t.Fatalf("RigidCubic(20) has %d automorphism generators, want rigid", order)
+	}
+	small := MzAug(10) // 200 vertices: cheap to analyze exactly
+	tree := core.Build(small, nil, core.Options{})
+	if s := tree.Stats(); s.Nodes != 1 {
+		t.Fatalf("MzAug AutoTree has %d nodes, want root-only", s.Nodes)
+	}
+	_, singles := tree.OrbitStats()
+	if singles != 0 {
+		t.Fatalf("MzAug has %d singleton orbits, want 0", singles)
+	}
+}
+
+func TestSocialDeterministicAndSized(t *testing.T) {
+	cfg := SocialConfig{Name: "t", N: 2000, M: 8000, TwinFrac: 0.1, PendantFrac: 0.1, Seed: 7}
+	g1 := Social(cfg)
+	g2 := Social(cfg)
+	if !g1.Equal(g2) {
+		t.Fatal("Social not deterministic")
+	}
+	if g1.N() != 2000 {
+		t.Fatalf("n = %d, want 2000", g1.N())
+	}
+	if g1.M() < 6000 || g1.M() > 10000 {
+		t.Fatalf("m = %d, want ≈8000", g1.M())
+	}
+}
+
+// TestSocialHasPlantedSymmetry: the stand-ins must show the Table 1
+// pattern — mostly-singleton orbit cells with a symmetric remainder.
+func TestSocialHasPlantedSymmetry(t *testing.T) {
+	g := Social(SocialConfig{Name: "t", N: 3000, M: 9000, TwinFrac: 0.1, PendantFrac: 0.15, Seed: 9})
+	tree := core.Build(g, nil, core.Options{})
+	cells, singles := tree.OrbitStats()
+	if cells == g.N() {
+		t.Fatal("no symmetry planted at all")
+	}
+	if float64(singles) < 0.5*float64(cells) {
+		t.Fatalf("singleton cells %d of %d: core not rigid enough", singles, cells)
+	}
+	s := tree.Stats()
+	if s.Depth > 8 {
+		t.Fatalf("AutoTree depth %d: expected shallow (paper: ≤5)", s.Depth)
+	}
+}
+
+func TestCircuitProfile(t *testing.T) {
+	g := Circuit(CircuitConfig{Name: "c", N: 5100, M: 9240, Buses: 40, BusDegree: 20,
+		GadgetCopies: 60, GadgetSize: 8, Seed: 5})
+	if g.N() != 5100 {
+		t.Fatalf("n = %d, want 5100", g.N())
+	}
+	if g.M() < 8000 || g.M() > 10000 {
+		t.Fatalf("m = %d, want ≈9240", g.M())
+	}
+	tree := core.Build(g, nil, core.Options{})
+	if _, singles := tree.OrbitStats(); singles == 0 {
+		t.Fatal("circuit should be mostly rigid")
+	}
+}
+
+func TestDatasetCatalogs(t *testing.T) {
+	real := RealDatasets()
+	if len(real) != 22 {
+		t.Fatalf("real datasets = %d, want 22", len(real))
+	}
+	bench := BenchmarkDatasets()
+	if len(bench) != 9 {
+		t.Fatalf("benchmark datasets = %d, want 9", len(bench))
+	}
+	if _, err := FindDataset("wikivote"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindDataset("pg2-49"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindDataset("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRealDatasetBuildSmallScale(t *testing.T) {
+	d, err := FindDataset("wikivote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Build(4)
+	if g.N() != d.Paper.N/4 {
+		t.Fatalf("scaled n = %d, want %d", g.N(), d.Paper.N/4)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(50, 120, 3)
+	if g.N() != 50 || g.M() != 120 {
+		t.Fatalf("G(50,120): n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Equal(ErdosRenyi(50, 120, 3)) {
+		t.Fatal("not deterministic")
+	}
+	// m capped at the complete graph.
+	k := ErdosRenyi(5, 100, 1)
+	if k.M() != 10 {
+		t.Fatalf("overfull request: m=%d, want 10", k.M())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(30, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("deg(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 5, 1); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+}
+
+// TestRandomGraphsNearlyRigid echoes the classical fact (paper's related
+// work [3]) that random graphs are almost surely rigid, which is why
+// canonical labeling is easy on them.
+func TestRandomGraphsNearlyRigid(t *testing.T) {
+	g := ErdosRenyi(200, 800, 11)
+	tree := core.Build(g, nil, core.Options{})
+	if tree.AutOrder().Int64() > 4 {
+		t.Fatalf("G(200,800) has |Aut| = %v — expected (near-)rigid", tree.AutOrder())
+	}
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvicl/internal/graph"
+)
+
+// ErdosRenyi builds a G(n, m) random graph: m distinct uniform edges.
+// Deterministic for a fixed seed. Useful for average-case studies — the
+// paper's related work notes canonical labeling is linear on random
+// graphs with high probability [3], which BenchmarkRandomIso exercises.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]bool, m)
+	for added := 0; added < m; {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+		added++
+	}
+	return b.Build()
+}
+
+// RandomRegular builds a random d-regular graph on n vertices via the
+// pairing (configuration) model with rejection of self-loops and
+// multi-edges; n·d must be even. Deterministic for a fixed seed.
+func RandomRegular(n, d int, seed int64) (*graph.Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: n·d must be even (n=%d, d=%d)", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("gen: degree %d too large for %d vertices", d, n)
+	}
+	r := rand.New(rand.NewSource(seed))
+	stubs := make([]int, 0, n*d)
+	for attempt := 0; attempt < 1000; attempt++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		seen := make(map[int64]bool, len(stubs)/2)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			key := int64(a)*int64(n) + int64(b)
+			if seen[key] {
+				ok = false
+				break
+			}
+			seen[key] = true
+		}
+		if !ok {
+			continue
+		}
+		b := graph.NewBuilder(n)
+		for i := 0; i < len(stubs); i += 2 {
+			b.AddEdge(stubs[i], stubs[i+1])
+		}
+		return b.Build(), nil
+	}
+	return nil, fmt.Errorf("gen: pairing model failed to produce a simple %d-regular graph", d)
+}

@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"math/rand"
+
+	"dvicl/internal/graph"
+)
+
+// SocialConfig parameterizes a synthetic stand-in for one of the paper's
+// 22 real-world graphs (Table 1). The construction plants exactly the
+// structure the paper's evaluation depends on: a quasi-rigid
+// preferential-attachment core (most orbit cells become singletons under
+// refinement) plus structural twins and pendant-twin groups (the few
+// non-singleton orbits that make DviCL's divisions fire).
+type SocialConfig struct {
+	Name string
+	// N and M are the target vertex and edge counts (the generator hits N
+	// exactly and approaches M).
+	N, M int
+	// TwinFrac is the fraction of vertices realized as structural twins
+	// of an existing vertex (the duplicated-neighborhood pattern that
+	// dominates the symmetry of real social networks).
+	TwinFrac float64
+	// PendantFrac is the fraction of vertices attached as degree-one
+	// pendants of hubs, forming pendant-twin groups.
+	PendantFrac float64
+	// Seed makes the graph deterministic.
+	Seed int64
+}
+
+// Social builds the synthetic stand-in graph for cfg.
+func Social(cfg SocialConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+	if n < 4 {
+		n = 4
+	}
+	twins := int(float64(n) * cfg.TwinFrac)
+	pendants := int(float64(n) * cfg.PendantFrac)
+	coreN := n - twins - pendants
+	if coreN < 4 {
+		coreN = 4
+		twins = (n - coreN) / 2
+		pendants = n - coreN - twins
+	}
+	// Edges per core vertex so the final edge count approaches M.
+	perVertex := cfg.M / coreN
+	if perVertex < 1 {
+		perVertex = 1
+	}
+
+	b := graph.NewBuilder(n)
+	// Preferential-attachment core: vertex v attaches to perVertex
+	// earlier vertices, sampled preferentially from the endpoints of
+	// earlier edges (heavy-tailed degree distribution, quasi-rigid).
+	endpoints := make([]int32, 0, 2*cfg.M)
+	b.AddEdge(0, 1)
+	endpoints = append(endpoints, 0, 1)
+	for v := 2; v < coreN; v++ {
+		for e := 0; e < perVertex; e++ {
+			var u int
+			if r.Intn(4) == 0 { // uniform mixing keeps diameter sane
+				u = r.Intn(v)
+			} else {
+				u = int(endpoints[r.Intn(len(endpoints))])
+			}
+			if u == v {
+				u = (u + 1) % v
+			}
+			b.AddEdge(v, u)
+			endpoints = append(endpoints, int32(v), int32(u))
+		}
+	}
+	// Structural twins: vertex copies an earlier core vertex's edges.
+	// Record core adjacency to replicate.
+	coreAdj := make([][]int32, coreN)
+	addCore := func(u, v int) {
+		coreAdj[u] = append(coreAdj[u], int32(v))
+		coreAdj[v] = append(coreAdj[v], int32(u))
+	}
+	// Rebuild the core edge list deterministically to know adjacency:
+	// the Builder dedupes, so track pairs here as well.
+	core := b.Build()
+	for _, e := range core.Edges() {
+		if e[0] < coreN && e[1] < coreN {
+			addCore(e[0], e[1])
+		}
+	}
+	b2 := graph.NewBuilder(n)
+	for _, e := range core.Edges() {
+		b2.AddEdge(e[0], e[1])
+	}
+	for t := 0; t < twins; t++ {
+		v := coreN + t
+		// Prefer low-degree originals: twins of hubs would distort the
+		// degree profile.
+		orig := r.Intn(coreN)
+		for tries := 0; tries < 4 && len(coreAdj[orig]) > 8; tries++ {
+			orig = r.Intn(coreN)
+		}
+		for _, w := range coreAdj[orig] {
+			b2.AddEdge(v, int(w))
+		}
+	}
+	// Pendant twins: attach runs of pendants to preferentially chosen
+	// hubs so several pendants share a hub (mutually automorphic).
+	for p := 0; p < pendants; {
+		hub := int(endpoints[r.Intn(len(endpoints))])
+		groupSize := 1 + r.Intn(3)
+		for i := 0; i < groupSize && p < pendants; i++ {
+			b2.AddEdge(coreN+twins+p, hub)
+			p++
+		}
+	}
+	return b2.Build()
+}
+
+// CircuitConfig parameterizes a synthetic SAT-circuit-like graph standing
+// in for the paper's fpga/difp/s3 benchmark instances (outputs of SAT
+// tools we cannot run offline): an irregular core wired like a layered
+// circuit, a few very-high-degree bus vertices, and repeated gadget
+// copies that leave some symmetric cells for the AutoTree to find.
+type CircuitConfig struct {
+	Name string
+	// N and M are vertex/edge targets.
+	N, M int
+	// Buses is the number of high-degree bus vertices (0 for none).
+	Buses int
+	// BusDegree is each bus vertex's approximate degree.
+	BusDegree int
+	// GadgetCopies and GadgetSize plant GadgetCopies identical copies of
+	// a small gadget, attached in equal groups to GadgetAnchors spine
+	// vertices; copies sharing an anchor are mutually symmetric, giving
+	// the graph non-singleton orbits.
+	GadgetCopies, GadgetSize int
+	// GadgetAnchors spreads the copies over this many spine vertices
+	// (defaults to 1), keeping anchor degrees near the paper's dmax.
+	GadgetAnchors int
+	// Seed makes the graph deterministic.
+	Seed int64
+}
+
+// Circuit builds the synthetic circuit-like stand-in for cfg.
+func Circuit(cfg CircuitConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	gadgetTotal := cfg.GadgetCopies * cfg.GadgetSize
+	coreN := cfg.N - cfg.Buses - gadgetTotal
+	if coreN < 8 {
+		coreN = 8
+	}
+	n := coreN + cfg.Buses + gadgetTotal
+	b := graph.NewBuilder(n)
+	// Layered circuit core: a long spine with chords of random short
+	// span — irregular, so refinement discretizes most of it.
+	for v := 1; v < coreN; v++ {
+		b.AddEdge(v, v-1)
+	}
+	budget := cfg.M - (coreN - 1) - cfg.Buses*cfg.BusDegree - cfg.GadgetCopies*(cfg.GadgetSize+1)
+	for e := 0; e < budget; e++ {
+		u := r.Intn(coreN)
+		span := 2 + r.Intn(64)
+		v := u + span
+		if v >= coreN {
+			v = r.Intn(coreN)
+		}
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	// Bus vertices: each connected to BusDegree distinct random core
+	// vertices (the difp family's dmax ≈ 1500 pattern).
+	for i := 0; i < cfg.Buses; i++ {
+		bus := coreN + i
+		for d := 0; d < cfg.BusDegree; d++ {
+			b.AddEdge(bus, r.Intn(coreN))
+		}
+	}
+	// Identical gadget copies: a small cycle with a chord. Copies are
+	// spread over GadgetAnchors spine vertices; the copies sharing an
+	// anchor are mutually symmetric subgraphs.
+	anchors := cfg.GadgetAnchors
+	if anchors < 1 {
+		anchors = 1
+	}
+	for c := 0; c < cfg.GadgetCopies; c++ {
+		base := coreN + cfg.Buses + c*cfg.GadgetSize
+		for i := 0; i < cfg.GadgetSize; i++ {
+			b.AddEdge(base+i, base+(i+1)%cfg.GadgetSize)
+		}
+		if cfg.GadgetSize >= 4 {
+			b.AddEdge(base, base+cfg.GadgetSize/2)
+		}
+		anchor := (c % anchors) * (coreN / anchors)
+		b.AddEdge(base, anchor)
+	}
+	return b.Build()
+}

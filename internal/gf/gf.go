@@ -1,0 +1,226 @@
+// Package gf implements small finite fields GF(p^k), the substrate for
+// the pg2/ag2 benchmark-graph generators (projective and affine plane
+// incidence graphs over GF(q); pg2-49 in the paper is the plane of order
+// 49 = 7²).
+//
+// Elements are represented as integers 0..q−1 encoding polynomial
+// coefficient vectors over GF(p) in base p. Addition and multiplication
+// tables are precomputed, which is ideal for the q ≤ a few hundred the
+// generators need.
+package gf
+
+import "fmt"
+
+// Field is a finite field GF(q) with q = p^k.
+type Field struct {
+	P, K, Q int
+	add     [][]uint16
+	mul     [][]uint16
+	inv     []uint16
+}
+
+// New constructs GF(q). q must be a prime power with q ≤ 4096.
+func New(q int) (*Field, error) {
+	if q < 2 || q > 4096 {
+		return nil, fmt.Errorf("gf: order %d out of supported range [2, 4096]", q)
+	}
+	p, k, ok := primePower(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: %d is not a prime power", q)
+	}
+	f := &Field{P: p, K: k, Q: q}
+	irred := findIrreducible(p, k)
+	f.buildTables(irred)
+	return f, nil
+}
+
+// primePower factors q as p^k for prime p, if possible.
+func primePower(q int) (p, k int, ok bool) {
+	for p = 2; p*p <= q; p++ {
+		if q%p == 0 {
+			k = 0
+			for n := q; n > 1; n /= p {
+				if n%p != 0 {
+					return 0, 0, false
+				}
+				k++
+			}
+			return p, k, true
+		}
+	}
+	return q, 1, true // q itself prime
+}
+
+// polynomial arithmetic over GF(p): polynomials as coefficient slices,
+// lowest degree first.
+
+func polyMulMod(a, b, mod []int, p int) []int {
+	res := make([]int, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			res[i+j] = (res[i+j] + ai*bj) % p
+		}
+	}
+	return polyMod(res, mod, p)
+}
+
+func polyMod(a, mod []int, p int) []int {
+	deg := len(mod) - 1
+	out := append([]int(nil), a...)
+	for i := len(out) - 1; i >= deg; i-- {
+		if out[i] == 0 {
+			continue
+		}
+		// out -= out[i] * x^(i-deg) * mod  (mod is monic)
+		c := out[i]
+		for j, mj := range mod {
+			out[i-deg+j] = ((out[i-deg+j]-c*mj)%p + p*p) % p
+		}
+	}
+	if len(out) > deg {
+		out = out[:deg]
+	}
+	for len(out) < deg {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree k over
+// GF(p) by brute force (checking for roots is enough for k ≤ 3; for
+// higher k we verify no factor of degree ≤ k/2 divides it).
+func findIrreducible(p, k int) []int {
+	if k == 1 {
+		return []int{0, 1} // x
+	}
+	// Enumerate monic polynomials x^k + c_{k-1}x^{k-1} + ... + c_0.
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= p
+	}
+	for code := 0; code < total; code++ {
+		poly := make([]int, k+1)
+		c := code
+		for i := 0; i < k; i++ {
+			poly[i] = c % p
+			c /= p
+		}
+		poly[k] = 1
+		if isIrreducible(poly, p, k) {
+			return poly
+		}
+	}
+	panic("gf: no irreducible polynomial found")
+}
+
+func isIrreducible(poly []int, p, k int) bool {
+	// Trial division by all monic polynomials of degree 1..k/2.
+	for d := 1; 2*d <= k; d++ {
+		total := 1
+		for i := 0; i < d; i++ {
+			total *= p
+		}
+		for code := 0; code < total; code++ {
+			div := make([]int, d+1)
+			c := code
+			for i := 0; i < d; i++ {
+				div[i] = c % p
+				c /= p
+			}
+			div[d] = 1
+			if polyDivides(div, poly, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func polyDivides(div, poly []int, p int) bool {
+	rem := polyMod(poly, div, p)
+	for _, c := range rem {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Field) encode(poly []int) int {
+	v := 0
+	for i := len(poly) - 1; i >= 0; i-- {
+		v = v*f.P + poly[i]
+	}
+	return v
+}
+
+func (f *Field) decode(v int) []int {
+	poly := make([]int, f.K)
+	for i := 0; i < f.K; i++ {
+		poly[i] = v % f.P
+		v /= f.P
+	}
+	return poly
+}
+
+func (f *Field) buildTables(irred []int) {
+	q := f.Q
+	f.add = make([][]uint16, q)
+	f.mul = make([][]uint16, q)
+	f.inv = make([]uint16, q)
+	for a := 0; a < q; a++ {
+		f.add[a] = make([]uint16, q)
+		f.mul[a] = make([]uint16, q)
+		pa := f.decode(a)
+		for b := 0; b < q; b++ {
+			pb := f.decode(b)
+			sum := make([]int, f.K)
+			for i := 0; i < f.K; i++ {
+				sum[i] = (pa[i] + pb[i]) % f.P
+			}
+			f.add[a][b] = uint16(f.encode(sum))
+			f.mul[a][b] = uint16(f.encode(polyMulMod(pa, pb, irred, f.P)))
+		}
+	}
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.mul[a][b] == 1 {
+				f.inv[a] = uint16(b)
+				break
+			}
+		}
+		if f.inv[a] == 0 {
+			panic("gf: element without inverse — polynomial not irreducible")
+		}
+	}
+}
+
+// Add returns a + b.
+func (f *Field) Add(a, b int) int { return int(f.add[a][b]) }
+
+// Mul returns a · b.
+func (f *Field) Mul(a, b int) int { return int(f.mul[a][b]) }
+
+// Neg returns −a.
+func (f *Field) Neg(a int) int {
+	for b := 0; b < f.Q; b++ {
+		if f.add[a][b] == 0 {
+			return b
+		}
+	}
+	panic("gf: no additive inverse")
+}
+
+// Sub returns a − b.
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// Inv returns a⁻¹ for a ≠ 0; it panics on a = 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return int(f.inv[a])
+}

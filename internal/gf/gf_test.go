@@ -1,0 +1,114 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsNonPrimePower(t *testing.T) {
+	for _, q := range []int{6, 10, 12, 15, 100} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) accepted a non-prime-power", q)
+		}
+	}
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 16, 25, 27, 49, 64, 81} {
+		if _, err := New(q); err != nil {
+			t.Errorf("New(%d): %v", q, err)
+		}
+	}
+}
+
+// fieldAxioms checks the field axioms exhaustively for small q and by
+// property sampling for larger q.
+func fieldAxioms(t *testing.T, q int) {
+	t.Helper()
+	f, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b, c int) bool {
+		// Commutativity.
+		if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		// Associativity.
+		if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+			return false
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			return false
+		}
+		// Distributivity.
+		if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+			return false
+		}
+		// Identities.
+		if f.Add(a, 0) != a || f.Mul(a, 1) != a {
+			return false
+		}
+		// Inverses.
+		if f.Add(a, f.Neg(a)) != 0 {
+			return false
+		}
+		if a != 0 && f.Mul(a, f.Inv(a)) != 1 {
+			return false
+		}
+		return true
+	}
+	if q <= 16 {
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				for c := 0; c < q; c++ {
+					if !check(a, b, c) {
+						t.Fatalf("GF(%d) axiom failed at (%d,%d,%d)", q, a, b, c)
+					}
+				}
+			}
+		}
+		return
+	}
+	fn := func(a, b, c uint16) bool {
+		return check(int(a)%q, int(b)%q, int(c)%q)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatalf("GF(%d): %v", q, err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 16, 25, 49} {
+		fieldAxioms(t, q)
+	}
+}
+
+func TestMultiplicativeGroupCyclicSize(t *testing.T) {
+	// Every nonzero element's multiplicative order divides q-1; there is
+	// an element of order exactly q-1 (primitive root).
+	for _, q := range []int{4, 8, 9, 25, 49} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		foundPrimitive := false
+		for a := 1; a < q; a++ {
+			order := 1
+			x := a
+			for x != 1 {
+				x = f.Mul(x, a)
+				order++
+				if order > q {
+					t.Fatalf("GF(%d): element %d has unbounded order", q, a)
+				}
+			}
+			if (q-1)%order != 0 {
+				t.Fatalf("GF(%d): order %d of %d does not divide %d", q, order, a, q-1)
+			}
+			if order == q-1 {
+				foundPrimitive = true
+			}
+		}
+		if !foundPrimitive {
+			t.Fatalf("GF(%d): no primitive element", q)
+		}
+	}
+}

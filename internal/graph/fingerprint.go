@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Fingerprint returns a cheap isomorphism-invariant hash of g: equal for
+// isomorphic graphs, and distinguishing most non-isomorphic pairs without
+// running a canonical labeler. It combines the degree sequence, the
+// per-vertex 2-hop degree-sum profile, and the per-vertex triangle
+// counts — all permutation-invariant after sorting.
+//
+// Use it as a pre-filter: unequal fingerprints prove non-isomorphism;
+// equal fingerprints require a canonical-labeling comparison.
+func (g *Graph) Fingerprint() [32]byte {
+	n := g.N()
+	h := sha256.New()
+	var word [8]byte
+	put := func(x uint64) {
+		binary.BigEndian.PutUint64(word[:], x)
+		h.Write(word[:])
+	}
+	put(uint64(n))
+	put(uint64(g.M()))
+
+	// Sorted degree sequence.
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.Degree(v)
+	}
+	sorted := append([]int(nil), degs...)
+	sort.Ints(sorted)
+	for _, d := range sorted {
+		put(uint64(d))
+	}
+
+	// Sorted 2-hop degree sums (one WL round, order-free).
+	hop2 := make([]int, n)
+	for v := 0; v < n; v++ {
+		sum := 0
+		g.Neighbors(v, func(w int) { sum += degs[w] })
+		hop2[v] = sum
+	}
+	sort.Ints(hop2)
+	for _, s := range hop2 {
+		put(uint64(s))
+	}
+
+	// Sorted per-vertex triangle participation (forward algorithm:
+	// O(m^1.5), safe for hub-heavy graphs).
+	tri := trianglesPerVertex(g)
+	sort.Ints(tri)
+	for _, c := range tri {
+		put(uint64(c))
+	}
+
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// trianglesPerVertex counts, for each vertex, the triangles through it,
+// with edges oriented from lower to higher degree.
+func trianglesPerVertex(g *Graph) []int {
+	n := g.N()
+	rank := make([]int, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	for r, v := range order {
+		rank[v] = r
+	}
+	forward := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		g.Neighbors(v, func(w int) {
+			if rank[w] > rank[v] {
+				forward[v] = append(forward[v], int32(w))
+			}
+		})
+	}
+	tri := make([]int, n)
+	for v := 0; v < n; v++ {
+		fv := forward[v]
+		for _, w32 := range fv {
+			w := int(w32)
+			fw := forward[w]
+			i, j := 0, 0
+			for i < len(fv) && j < len(fw) {
+				switch {
+				case fv[i] < fw[j]:
+					i++
+				case fv[i] > fw[j]:
+					j++
+				default:
+					tri[v]++
+					tri[w]++
+					tri[int(fv[i])]++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return tri
+}

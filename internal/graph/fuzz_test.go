@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic and must produce a graph
+// that survives a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# c\n10 20\n% c\n20 30\n")
+	f.Add("")
+	f.Add("1\n")
+	f.Add("a b\n")
+	f.Add("999999 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatalf("write failed on parsed graph: %v", err)
+		}
+		h, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("round trip changed graph")
+		}
+	})
+}
+
+// FuzzFromGraph6: arbitrary bytes must never panic; valid decodings must
+// re-encode to an equivalent graph.
+func FuzzFromGraph6(f *testing.F) {
+	f.Add("A_")
+	f.Add("D?{")
+	f.Add("~??")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := FromGraph6(in)
+		if err != nil {
+			return
+		}
+		s, err := ToGraph6(g)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		h, err := FromGraph6(s)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("graph6 round trip changed graph")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graph6 support: the compact ASCII format used by nauty's tools (and the
+// bliss benchmark collection) to exchange undirected graphs. Only the
+// standard variant for n < 2^18 is implemented, which covers every graph
+// the paper's evaluation exchanges.
+
+// ToGraph6 encodes g in graph6 format (without trailing newline).
+func ToGraph6(g *Graph) (string, error) {
+	n := g.N()
+	if n >= 1<<18 {
+		return "", fmt.Errorf("graph6: n=%d too large (max 2^18-1)", n)
+	}
+	var b strings.Builder
+	switch {
+	case n <= 62:
+		b.WriteByte(byte(n + 63))
+	default:
+		b.WriteByte(126)
+		b.WriteByte(byte((n>>12)&63) + 63)
+		b.WriteByte(byte((n>>6)&63) + 63)
+		b.WriteByte(byte(n&63) + 63)
+	}
+	// Upper triangle, column by column: bit (i, j) for i < j ordered by
+	// (j, i).
+	var bits []bool
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			bits = append(bits, g.HasEdge(i, j))
+		}
+	}
+	for k := 0; k < len(bits); k += 6 {
+		var x byte
+		for t := 0; t < 6; t++ {
+			x <<= 1
+			if k+t < len(bits) && bits[k+t] {
+				x |= 1
+			}
+		}
+		b.WriteByte(x + 63)
+	}
+	return b.String(), nil
+}
+
+// FromGraph6 decodes a graph6 string.
+func FromGraph6(s string) (*Graph, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("graph6: empty input")
+	}
+	pos := 0
+	var n int
+	if s[0] == 126 {
+		if len(s) < 4 {
+			return nil, fmt.Errorf("graph6: truncated size header")
+		}
+		if s[1] == 126 {
+			return nil, fmt.Errorf("graph6: n >= 2^18 unsupported")
+		}
+		n = int(s[1]-63)<<12 | int(s[2]-63)<<6 | int(s[3]-63)
+		pos = 4
+	} else {
+		if s[0] < 63 || s[0] > 126 {
+			return nil, fmt.Errorf("graph6: bad size byte %q", s[0])
+		}
+		n = int(s[0] - 63)
+		pos = 1
+	}
+	need := (n*(n-1)/2 + 5) / 6
+	if len(s)-pos < need {
+		return nil, fmt.Errorf("graph6: need %d data bytes, have %d", need, len(s)-pos)
+	}
+	b := NewBuilder(n)
+	bitIdx := 0
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			byteIdx := pos + bitIdx/6
+			c := s[byteIdx]
+			if c < 63 || c > 126 {
+				return nil, fmt.Errorf("graph6: bad data byte %q", c)
+			}
+			bit := (c - 63) >> (5 - uint(bitIdx%6)) & 1
+			if bit == 1 {
+				b.AddEdge(i, j)
+			}
+			bitIdx++
+		}
+	}
+	return b.Build(), nil
+}

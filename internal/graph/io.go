@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line).
+// Lines starting with '#' or '%' are comments, except that a leading
+// "# n=<count>" header (as emitted by WriteEdgeList) fixes the vertex
+// count, preserving isolated vertices across a write/read round trip.
+// Vertex ids may be arbitrary non-negative integers; without a header
+// they are compacted to 0..n−1 in ascending order. Directions,
+// self-loops, and duplicate edges are dropped, matching the preprocessing
+// in Section 7 of the paper.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var raw [][2]int
+	maxID := -1
+	line := 0
+	headerN := -1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(text, "# n=") {
+			if _, err := fmt.Sscanf(text, "# n=%d", &headerN); err != nil {
+				headerN = -1
+			}
+		}
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		raw = append(raw, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if headerN >= 0 {
+		// Fixed vertex count: ids are used as-is (they must fit).
+		if maxID >= headerN {
+			return nil, fmt.Errorf("graph: vertex id %d exceeds declared n=%d", maxID, headerN)
+		}
+		b := NewBuilder(headerN)
+		for _, e := range raw {
+			b.AddEdge(e[0], e[1])
+		}
+		return b.Build(), nil
+	}
+	// Compact ids: keep only ids that appear, renumber in ascending order.
+	present := make([]bool, maxID+1)
+	for _, e := range raw {
+		present[e[0]] = true
+		present[e[1]] = true
+	}
+	remap := make([]int, maxID+1)
+	n := 0
+	for id, ok := range present {
+		if ok {
+			remap[id] = n
+			n++
+		}
+	}
+	b := NewBuilder(n)
+	for _, e := range raw {
+		b.AddEdge(remap[e[0]], remap[e[1]])
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g as a sorted "u v" edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

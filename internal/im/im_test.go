@@ -1,0 +1,140 @@
+package im
+
+import (
+	"math"
+	"testing"
+
+	"dvicl/internal/graph"
+)
+
+func star(leaves int) *graph.Graph {
+	var edges [][2]int
+	for i := 1; i <= leaves; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return graph.FromEdges(leaves+1, edges)
+}
+
+func TestSpreadCertainEdges(t *testing.T) {
+	// p = 1: every sketch is the full graph; spread of any vertex in a
+	// connected graph is n.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	m := NewIC(g, 1.0, 8, 1)
+	if got := m.Spread([]int{0}); got != 4 {
+		t.Fatalf("spread = %v, want 4", got)
+	}
+	if got := m.Spread([]int{0, 3}); got != 4 {
+		t.Fatalf("spread with redundant seed = %v, want 4", got)
+	}
+}
+
+func TestSpreadNoEdges(t *testing.T) {
+	// p = 0: seeds influence only themselves.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}})
+	m := NewIC(g, 0.0, 8, 1)
+	if got := m.Spread([]int{0, 3}); got != 2 {
+		t.Fatalf("spread = %v, want 2", got)
+	}
+}
+
+func TestGreedyPicksHub(t *testing.T) {
+	// On a star with p=1, the first greedy seed reaches everything; any
+	// vertex works, but the hub must be at least as good as any leaf, and
+	// with two components the greedy must cover both.
+	g := graph.FromEdges(7, [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, // star component
+		{4, 5}, {5, 6}, // path component
+	})
+	m := NewIC(g, 1.0, 4, 7)
+	seeds := m.Greedy(2)
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	if got := m.Spread(seeds); got != 7 {
+		t.Fatalf("2-seed spread = %v, want 7 (both components)", got)
+	}
+}
+
+func TestGreedyMonotoneSpread(t *testing.T) {
+	g := star(20)
+	m := NewIC(g, 0.3, 64, 11)
+	prev := 0.0
+	for k := 1; k <= 5; k++ {
+		s := m.Greedy(k)
+		if len(s) != k {
+			t.Fatalf("Greedy(%d) returned %d seeds", k, len(s))
+		}
+		cur := m.Spread(s)
+		if cur+1e-9 < prev {
+			t.Fatalf("spread not monotone: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestGreedyMatchesExhaustiveFirstSeed(t *testing.T) {
+	// The first greedy seed must have the maximal single-vertex spread.
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {0, 2}, {0, 3}, {3, 4}, {4, 5}})
+	m := NewIC(g, 0.5, 256, 3)
+	seeds := m.Greedy(1)
+	best := -1.0
+	for v := 0; v < g.N(); v++ {
+		if s := m.Spread([]int{v}); s > best {
+			best = s
+		}
+	}
+	if got := m.Spread(seeds); math.Abs(got-best) > 1e-9 {
+		t.Fatalf("greedy first seed spread %v, best %v", got, best)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := star(15)
+	a := NewIC(g, 0.4, 32, 42).Greedy(3)
+	b := NewIC(g, 0.4, 32, 42).Greedy(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestGreedyKExceedsN(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}})
+	m := NewIC(g, 0.5, 8, 1)
+	if got := len(m.Greedy(10)); got != 3 {
+		t.Fatalf("Greedy(10) on 3 vertices returned %d seeds", got)
+	}
+}
+
+func TestWCModel(t *testing.T) {
+	g := star(10)
+	m := NewWC(g, 64, 5)
+	// Seeds influence at least themselves.
+	if got := m.Spread([]int{3}); got < 1 {
+		t.Fatalf("WC spread = %v, want >= 1", got)
+	}
+	// The hub's spread should beat a leaf's: leaves activate the hub with
+	// p=1/10, the hub activates each leaf with p=1/1... (per-edge
+	// 1/max(d)): hub->leaf edges survive with 1/10 too, but the hub
+	// touches 10 of them.
+	hub := m.Spread([]int{0})
+	leaf := m.Spread([]int{1})
+	if hub < leaf {
+		t.Fatalf("WC hub spread %v < leaf spread %v", hub, leaf)
+	}
+	if got := len(m.Greedy(3)); got != 3 {
+		t.Fatalf("WC greedy returned %d seeds", got)
+	}
+}
+
+func TestWCDeterministic(t *testing.T) {
+	g := star(8)
+	a := NewWC(g, 16, 9).Greedy(2)
+	b := NewWC(g, 16, 9).Greedy(2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("WC nondeterministic")
+		}
+	}
+}

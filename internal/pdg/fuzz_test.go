@@ -1,0 +1,25 @@
+package pdg
+
+import "testing"
+
+// FuzzParse: the IR parser must never panic, and parsed programs must
+// build a PDG without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("a = input\nret a")
+	f.Add("t = add x y\nret t")
+	f.Add("ret")
+	f.Add("# only comments")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		p := Build(prog)
+		if p.G.N() != len(p.Instrs) {
+			t.Fatalf("vertex count %d != instruction count %d", p.G.N(), len(p.Instrs))
+		}
+		if _, err := Certificate(p); err != nil {
+			t.Fatalf("certificate failed on valid program: %v", err)
+		}
+	})
+}

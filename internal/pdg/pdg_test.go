@@ -1,0 +1,122 @@
+package pdg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// cert computes the opcode-aware canonical certificate of a program.
+func cert(t *testing.T, src string) []byte {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Certificate(Build(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+const original = `
+a = input
+b = input
+t1 = mul a a
+t2 = mul b b
+t3 = add t1 t2
+ret t3
+`
+
+// renamed is the original with every identifier renamed and the first two
+// multiplications swapped — classic plagiarism.
+const renamed = `
+x = input
+y = input
+p = mul y y
+q = mul x x
+s = add q p
+ret s
+`
+
+// different computes a*a - b*b: one opcode differs.
+const different = `
+a = input
+b = input
+t1 = mul a a
+t2 = mul b b
+t3 = sub t1 t2
+ret t3
+`
+
+func TestParse(t *testing.T) {
+	prog, err := Parse(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 6 {
+		t.Fatalf("parsed %d instructions", len(prog))
+	}
+	if prog[2].Op != OpMul || prog[2].Dst != "t1" {
+		t.Fatalf("instr 2 = %+v", prog[2])
+	}
+	if prog[5].Op != OpRet {
+		t.Fatalf("instr 5 = %+v", prog[5])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "x y z", "a = frobnicate b", "ret"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestBuildSynthesizesInputs(t *testing.T) {
+	prog, err := Parse("t = add a b\nret t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Build(prog)
+	// 2 instructions + 2 synthetic inputs.
+	if p.G.N() != 4 {
+		t.Fatalf("n = %d, want 4", p.G.N())
+	}
+	inputs := 0
+	for _, c := range p.Colors {
+		if Opcode(c) == OpInput {
+			inputs++
+		}
+	}
+	if inputs != 2 {
+		t.Fatalf("inputs = %d, want 2", inputs)
+	}
+}
+
+func TestPlagiarismDetected(t *testing.T) {
+	if !bytes.Equal(cert(t, original), cert(t, renamed)) {
+		t.Fatal("renamed/reordered program not recognized as equivalent")
+	}
+}
+
+func TestDifferentProgramSeparated(t *testing.T) {
+	if bytes.Equal(cert(t, original), cert(t, different)) {
+		t.Fatal("semantically different program judged equivalent")
+	}
+}
+
+func TestColorMattersNotJustShape(t *testing.T) {
+	// Same dependence shape, different opcode: add vs mul at the root.
+	a := "x = input\ny = input\nt = add x y\nret t"
+	b := "x = input\ny = input\nt = mul x y\nret t"
+	if bytes.Equal(cert(t, a), cert(t, b)) {
+		t.Fatal("opcode coloring ignored")
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpAdd.String() != "add" || OpInput.String() != "input" {
+		t.Fatalf("opcode names wrong: %v %v", OpAdd, OpInput)
+	}
+}

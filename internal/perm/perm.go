@@ -1,0 +1,222 @@
+// Package perm implements permutations of {0, …, n−1} with the operations
+// the paper's algorithms need: composition, inversion, application to
+// vertices, edges and colorings, and the cycle notation used throughout
+// Section 2 of the paper.
+package perm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Perm is a permutation of {0, …, n−1}. p[v] is the image of v, written vᵞ
+// in the paper. The zero-length Perm is the identity on the empty set.
+type Perm []int
+
+// Identity returns the identity permutation ι on n elements.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// New validates that images is a bijection on {0,…,len(images)−1} and
+// returns it as a Perm.
+func New(images []int) (Perm, error) {
+	seen := make([]bool, len(images))
+	for v, img := range images {
+		if img < 0 || img >= len(images) {
+			return nil, fmt.Errorf("perm: image %d of %d out of range [0,%d)", img, v, len(images))
+		}
+		if seen[img] {
+			return nil, fmt.Errorf("perm: image %d appears twice", img)
+		}
+		seen[img] = true
+	}
+	return Perm(images), nil
+}
+
+// N returns the number of elements the permutation acts on.
+func (p Perm) N() int { return len(p) }
+
+// Image returns vᵞ, the image of v under p.
+func (p Perm) Image(v int) int { return p[v] }
+
+// IsIdentity reports whether p maps every element to itself.
+func (p Perm) IsIdentity() bool {
+	for v, img := range p {
+		if v != img {
+			return false
+		}
+	}
+	return true
+}
+
+// IsValid reports whether p is a bijection on {0,…,n−1}.
+func (p Perm) IsValid() bool {
+	_, err := New(p)
+	return err == nil
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the permutation r = p∘q acting as r(v) = q(p(v)):
+// first apply p, then q. This matches the paper's convention where
+// ν^(γδ) applies γ first.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: compose length mismatch")
+	}
+	r := make(Perm, len(p))
+	for v := range p {
+		r[v] = q[p[v]]
+	}
+	return r
+}
+
+// Inverse returns γ⁻¹.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for v, img := range p {
+		r[img] = v
+	}
+	return r
+}
+
+// Cycles returns the cycle decomposition of p, omitting fixed points.
+// Each cycle starts at its minimum element; cycles are sorted by their
+// minimum element, giving a deterministic representation.
+func (p Perm) Cycles() [][]int {
+	var cycles [][]int
+	seen := make([]bool, len(p))
+	for start := range p {
+		if seen[start] || p[start] == start {
+			seen[start] = true
+			continue
+		}
+		var c []int
+		for v := start; !seen[v]; v = p[v] {
+			seen[v] = true
+			c = append(c, v)
+		}
+		cycles = append(cycles, c)
+	}
+	return cycles
+}
+
+// String renders p in the cycle notation used by the paper, e.g.
+// "(0,6)(1,5)(2,3,4)". The identity renders as "()".
+func (p Perm) String() string {
+	cycles := p.Cycles()
+	if len(cycles) == 0 {
+		return "()"
+	}
+	var b strings.Builder
+	for _, c := range cycles {
+		b.WriteByte('(')
+		for i, v := range c {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// ParseCycles parses cycle notation such as "(0,6)(1,5)(2,3,4)" into a
+// permutation on n elements. Elements not mentioned are fixed. "()" and
+// the empty string parse to the identity.
+func ParseCycles(s string, n int) (Perm, error) {
+	p := Identity(n)
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		if s[0] != '(' {
+			return nil, fmt.Errorf("perm: expected '(' at %q", s)
+		}
+		end := strings.IndexByte(s, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("perm: unclosed cycle in %q", s)
+		}
+		body := strings.TrimSpace(s[1:end])
+		s = strings.TrimSpace(s[end+1:])
+		if body == "" {
+			continue
+		}
+		parts := strings.Split(body, ",")
+		cycle := make([]int, len(parts))
+		for i, part := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("perm: bad element %q: %v", part, err)
+			}
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("perm: element %d out of range [0,%d)", v, n)
+			}
+			cycle[i] = v
+		}
+		for i, v := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			if p[v] != v {
+				return nil, fmt.Errorf("perm: element %d in two cycles", v)
+			}
+			p[v] = next
+		}
+	}
+	if !p.IsValid() {
+		return nil, fmt.Errorf("perm: cycles do not form a permutation")
+	}
+	return p, nil
+}
+
+// Apply returns the image of the vertex set vs under p, sorted.
+func (p Perm) Apply(vs []int) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = p[v]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Order returns the multiplicative order of p (the lcm of its cycle
+// lengths). The identity has order 1.
+func (p Perm) Order() int {
+	order := 1
+	for _, c := range p.Cycles() {
+		order = lcm(order, len(c))
+	}
+	return order
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

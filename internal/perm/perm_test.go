@@ -1,0 +1,140 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPerm(r *rand.Rand, n int) Perm {
+	p := Identity(n)
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if !p.IsIdentity() {
+		t.Fatalf("Identity(5) not identity: %v", p)
+	}
+	if p.String() != "()" {
+		t.Fatalf("identity string = %q", p.String())
+	}
+	if p.Order() != 1 {
+		t.Fatalf("identity order = %d", p.Order())
+	}
+}
+
+func TestNewRejectsBad(t *testing.T) {
+	if _, err := New([]int{0, 0, 2}); err == nil {
+		t.Fatal("duplicate image accepted")
+	}
+	if _, err := New([]int{0, 3, 1}); err == nil {
+		t.Fatal("out-of-range image accepted")
+	}
+	if _, err := New([]int{2, 0, 1}); err != nil {
+		t.Fatalf("valid perm rejected: %v", err)
+	}
+}
+
+func TestComposeOrder(t *testing.T) {
+	// p = (0 1), q = (1 2). p∘q first applies p then q:
+	// 0 →p 1 →q 2, so (p∘q)(0) must be 2.
+	p, _ := ParseCycles("(0,1)", 3)
+	q, _ := ParseCycles("(1,2)", 3)
+	r := p.Compose(q)
+	if r.Image(0) != 2 {
+		t.Fatalf("compose convention wrong: got %d want 2", r.Image(0))
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := randomPerm(r, 1+r.Intn(40))
+		if !p.Compose(p.Inverse()).IsIdentity() {
+			t.Fatalf("p∘p⁻¹ != id for %v", p)
+		}
+		if !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatalf("p⁻¹∘p != id for %v", p)
+		}
+	}
+}
+
+func TestCycleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		n := 1 + r.Intn(30)
+		p := randomPerm(r, n)
+		q, err := ParseCycles(p.String(), n)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip %v -> %q -> %v", p, p.String(), q)
+		}
+	}
+}
+
+func TestParseCyclesPaperExample(t *testing.T) {
+	// γ0 = (0,6)(1,5)(2,3,4) from Fig. 1(b) discussion.
+	p, err := ParseCycles("(0,6)(1,5)(2,3,4)", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{0: 6, 6: 0, 1: 5, 5: 1, 2: 3, 3: 4, 4: 2, 7: 7}
+	for v, img := range want {
+		if p.Image(v) != img {
+			t.Fatalf("image(%d) = %d, want %d", v, p.Image(v), img)
+		}
+	}
+	if p.Order() != 6 {
+		t.Fatalf("order = %d, want lcm(2,2,3)=6", p.Order())
+	}
+}
+
+func TestParseCyclesErrors(t *testing.T) {
+	for _, s := range []string{"(0,1", "0,1)", "(0,9)", "(x)", "(0,1)(1,2)"} {
+		if _, err := ParseCycles(s, 4); err == nil {
+			t.Errorf("ParseCycles(%q) accepted", s)
+		}
+	}
+}
+
+func TestApplySorted(t *testing.T) {
+	p, _ := ParseCycles("(0,3)(1,2)", 4)
+	got := p.Apply([]int{0, 1})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Apply = %v, want [2 3]", got)
+	}
+}
+
+func TestQuickComposeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(25)
+		p, q, s := randomPerm(rr, n), randomPerm(rr, n), randomPerm(rr, n)
+		return p.Compose(q).Compose(s).Equal(p.Compose(q.Compose(s)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrderAnnihilates(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(12)
+		p := randomPerm(rr, n)
+		acc := Identity(n)
+		for i := 0; i < p.Order(); i++ {
+			acc = acc.Compose(p)
+		}
+		return acc.IsIdentity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package perm
+
+// Sparse is a permutation stored by its moved points only — the natural
+// representation for automorphism generators of large graphs, which move
+// a handful of vertices (twin swaps, small subtree swaps) out of millions.
+type Sparse struct {
+	// N is the degree of the permutation.
+	N int
+	// Moved lists (v, image) pairs for every v with image ≠ v.
+	Moved [][2]int
+}
+
+// SparseFromDense extracts the moved points of p.
+func SparseFromDense(p Perm) Sparse {
+	s := Sparse{N: len(p)}
+	for v, img := range p {
+		if v != img {
+			s.Moved = append(s.Moved, [2]int{v, img})
+		}
+	}
+	return s
+}
+
+// Dense materializes the full image array.
+func (s Sparse) Dense() Perm {
+	p := Identity(s.N)
+	for _, m := range s.Moved {
+		p[m[0]] = m[1]
+	}
+	return p
+}
+
+// Image returns the image of v (v itself if unmoved). Lookup is linear in
+// the number of moved points, which is small by construction.
+func (s Sparse) Image(v int) int {
+	for _, m := range s.Moved {
+		if m[0] == v {
+			return m[1]
+		}
+	}
+	return v
+}
+
+// IsIdentity reports whether the permutation moves nothing.
+func (s Sparse) IsIdentity() bool { return len(s.Moved) == 0 }

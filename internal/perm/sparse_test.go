@@ -1,0 +1,55 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		p := Identity(n)
+		r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+		s := SparseFromDense(p)
+		return s.Dense().Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseImage(t *testing.T) {
+	p, _ := ParseCycles("(1,3)(5,6)", 8)
+	s := SparseFromDense(p)
+	if len(s.Moved) != 4 {
+		t.Fatalf("moved = %v", s.Moved)
+	}
+	for v := 0; v < 8; v++ {
+		if s.Image(v) != p.Image(v) {
+			t.Fatalf("image(%d) = %d, want %d", v, s.Image(v), p.Image(v))
+		}
+	}
+}
+
+func TestSparseIdentity(t *testing.T) {
+	s := SparseFromDense(Identity(10))
+	if !s.IsIdentity() {
+		t.Fatal("identity not detected")
+	}
+	if !s.Dense().IsIdentity() {
+		t.Fatal("dense identity wrong")
+	}
+}
+
+func TestSparseTransposition(t *testing.T) {
+	s := Sparse{N: 5, Moved: [][2]int{{1, 3}, {3, 1}}}
+	d := s.Dense()
+	if d[1] != 3 || d[3] != 1 || d[0] != 0 {
+		t.Fatalf("dense = %v", d)
+	}
+	if s.IsIdentity() {
+		t.Fatal("transposition flagged as identity")
+	}
+}

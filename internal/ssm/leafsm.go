@@ -1,0 +1,88 @@
+package ssm
+
+import (
+	"sort"
+
+	"dvicl/internal/core"
+)
+
+// leafOrbitSM is the paper-faithful variant of the non-singleton-leaf
+// base case of Algorithm 6 (line 3): run the subgraph-matching subroutine
+// SM to find every induced embedding of the pattern's induced subgraph in
+// the leaf, then keep the matches that are actually *symmetric* to the
+// pattern (same orbit under Aut(leaf, πg), checked by pattern-certificate
+// equality). It returns the same set as leafOrbit; the two are
+// cross-checked in tests and benchmarked against each other.
+func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
+	leafG := nd.LeafGraph()
+	colors := ix.tree.Colors()
+
+	// Local indices of the pattern inside the leaf.
+	local := make([]int, len(pattern))
+	for i, v := range pattern {
+		local[i] = sort.SearchInts(nd.Verts, v)
+	}
+	sort.Ints(local)
+
+	// The query graph: the leaf-induced subgraph on the pattern, with the
+	// global colors as matching constraints.
+	q, orig := leafG.InducedSubgraph(local)
+	qColors := make([]int, q.N())
+	for i, l := range orig {
+		qColors[i] = colors[nd.Verts[l]]
+	}
+	leafColors := make([]int, leafG.N())
+	for i, v := range nd.Verts {
+		leafColors[i] = colors[v]
+	}
+
+	// SM: all induced color-respecting embeddings, deduplicated to vertex
+	// sets (different embeddings of the same set differ by a query
+	// automorphism).
+	m := NewMatcher(leafG, leafColors)
+	key := ix.leafPatternCert(nd, pattern)
+	seen := map[string]bool{}
+	var out [][]int
+	for _, emb := range m.FindInduced(q, qColors, 0) {
+		set := CanonicalSet(emb)
+		k := intsKey(set)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		// Symmetry verification: a match is an answer iff it lies in the
+		// pattern's orbit under Aut(leaf, πg) — certificate equality (the
+		// paper's Lemma 6.7 argument).
+		global := make([]int, len(set))
+		for i, l := range set {
+			global[i] = nd.Verts[l]
+		}
+		if !bytesEqual(ix.leafPatternCert(nd, global), key) {
+			continue
+		}
+		out = append(out, global)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
+	return out
+}
+
+func intsKey(xs []int) string {
+	buf := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		buf = append(buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(buf)
+}
+
+// EnumerateSM is Enumerate with the paper's SM-based leaf handling
+// instead of generator-orbit BFS — provided for fidelity to Algorithm 6
+// and for cross-validation; results are identical.
+func (ix *Index) EnumerateSM(s []int, limit int) [][]int {
+	pattern := sortedCopy(s)
+	ix.useSM = true
+	defer func() { ix.useSM = false }()
+	return ix.enumNode(ix.tree.Root, pattern, limit)
+}

@@ -1,0 +1,181 @@
+// Package ssm implements symmetric subgraph matching: given an induced
+// subgraph q of G, find every induced subgraph g of G with g = qᵞ for some
+// automorphism γ of G (Section 6.4 of the paper). SSM-AT (Algorithm 6)
+// answers the query from the AutoTree; a brute-force enumerator over the
+// automorphism group serves as the correctness oracle, and a VF2-style
+// induced-subgraph matcher plays the role of the paper's SM subroutine.
+package ssm
+
+import (
+	"sort"
+
+	"dvicl/internal/graph"
+)
+
+// Matcher finds induced-subgraph isomorphisms of a query graph inside a
+// data graph — the SM building block of Algorithm 6 (line 3). It is a
+// VF2-style backtracking matcher with degree and color filtering.
+type Matcher struct {
+	data   *graph.Graph
+	colors []int // optional vertex colors of the data graph (nil = none)
+}
+
+// NewMatcher builds a matcher over data; colors may be nil. When colors
+// are given, a query vertex may only map to data vertices of the same
+// color (queryColors in FindInduced).
+type matchState struct {
+	q           *graph.Graph
+	qColors     []int
+	assignment  []int
+	used        map[int]bool
+	out         [][]int
+	limit       int
+	order       []int
+	stopped     bool
+	dedupOrbits bool
+}
+
+// NewMatcher returns a Matcher for the data graph.
+func NewMatcher(data *graph.Graph, colors []int) *Matcher {
+	return &Matcher{data: data, colors: colors}
+}
+
+// FindInduced returns every induced embedding of q in the data graph as a
+// vertex map (query vertex i ↦ data vertex out[i]). qColors, when
+// non-nil, restricts query vertex i to data vertices of color qColors[i].
+// limit bounds the number of embeddings returned (0 = all).
+func (m *Matcher) FindInduced(q *graph.Graph, qColors []int, limit int) [][]int {
+	if q.N() == 0 {
+		return nil
+	}
+	st := &matchState{
+		q:          q,
+		qColors:    qColors,
+		assignment: make([]int, q.N()),
+		used:       make(map[int]bool),
+		limit:      limit,
+		order:      connectivityOrder(q),
+	}
+	for i := range st.assignment {
+		st.assignment[i] = -1
+	}
+	m.extend(st, 0)
+	return st.out
+}
+
+// connectivityOrder orders query vertices so each (after the first) has a
+// previously-ordered neighbor when possible, maximizing early pruning.
+func connectivityOrder(q *graph.Graph) []int {
+	n := q.N()
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	// Start from the highest-degree vertex.
+	start := 0
+	for v := 1; v < n; v++ {
+		if q.Degree(v) > q.Degree(start) {
+			start = v
+		}
+	}
+	order = append(order, start)
+	inOrder[start] = true
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			score := 0
+			q.Neighbors(v, func(w int) {
+				if inOrder[w] {
+					score++
+				}
+			})
+			// Prefer attached vertices; ties by degree.
+			score = score*1000 + q.Degree(v)
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+	}
+	return order
+}
+
+func (m *Matcher) extend(st *matchState, depth int) {
+	if st.stopped {
+		return
+	}
+	if depth == st.q.N() {
+		emb := append([]int(nil), st.assignment...)
+		st.out = append(st.out, emb)
+		if st.limit > 0 && len(st.out) >= st.limit {
+			st.stopped = true
+		}
+		return
+	}
+	qv := st.order[depth]
+	// Candidate set: data neighbors of an already-mapped query neighbor,
+	// or all data vertices if qv has none mapped yet.
+	var candidates []int
+	anchored := false
+	st.q.Neighbors(qv, func(qw int) {
+		if anchored || st.assignment[qw] < 0 {
+			return
+		}
+		anchored = true
+		m.data.Neighbors(st.assignment[qw], func(dv int) {
+			candidates = append(candidates, dv)
+		})
+	})
+	if !anchored {
+		candidates = make([]int, m.data.N())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	for _, dv := range candidates {
+		if st.used[dv] {
+			continue
+		}
+		if st.qColors != nil && m.colors != nil && m.colors[dv] != st.qColors[qv] {
+			continue
+		}
+		if m.data.Degree(dv) < st.q.Degree(qv) {
+			continue
+		}
+		if !m.feasible(st, qv, dv) {
+			continue
+		}
+		st.assignment[qv] = dv
+		st.used[dv] = true
+		m.extend(st, depth+1)
+		st.used[dv] = false
+		st.assignment[qv] = -1
+		if st.stopped {
+			return
+		}
+	}
+}
+
+// feasible checks induced consistency: mapped query neighbors of qv must
+// be data neighbors of dv, and mapped non-neighbors must be non-neighbors.
+func (m *Matcher) feasible(st *matchState, qv, dv int) bool {
+	for qw, dw := range st.assignment {
+		if dw < 0 || qw == qv {
+			continue
+		}
+		if st.q.HasEdge(qv, qw) != m.data.HasEdge(dv, dw) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalSet returns the sorted vertex set of an embedding, used to
+// deduplicate embeddings that differ only by query automorphisms.
+func CanonicalSet(embedding []int) []int {
+	out := append([]int(nil), embedding...)
+	sort.Ints(out)
+	return out
+}

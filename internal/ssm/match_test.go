@@ -1,0 +1,121 @@
+package ssm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dvicl/internal/graph"
+)
+
+func triangleQuery() *graph.Graph {
+	return graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+}
+
+// bruteInduced enumerates induced embeddings of q in g by trying every
+// injective vertex map (small graphs only).
+func bruteInduced(data, q *graph.Graph) map[string]bool {
+	out := map[string]bool{}
+	n, k := data.N(), q.N()
+	idx := make([]int, k)
+	used := make([]bool, n)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == k {
+			m := append([]int(nil), idx...)
+			ok := true
+			for i := 0; i < k && ok; i++ {
+				for j := i + 1; j < k && ok; j++ {
+					if q.HasEdge(i, j) != data.HasEdge(m[i], m[j]) {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				out[fmt.Sprint(m)] = true
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			idx[d] = v
+			rec(d + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestMatcherAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(6)
+		g := randGraph(r, n, 2)
+		for _, q := range []*graph.Graph{
+			triangleQuery(),
+			graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}}), // path P3
+			graph.FromEdges(2, [][2]int{{0, 1}}),         // edge
+		} {
+			want := bruteInduced(g, q)
+			m := NewMatcher(g, nil)
+			got := m.FindInduced(q, nil, 0)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: matcher found %d, brute force %d (q n=%d, edges=%v)",
+					trial, len(got), len(want), q.N(), g.Edges())
+			}
+			for _, emb := range got {
+				if !want[fmt.Sprint(emb)] {
+					t.Fatalf("matcher produced non-embedding %v", emb)
+				}
+			}
+		}
+	}
+}
+
+func TestMatcherColorConstraint(t *testing.T) {
+	// Path 0-1-2 where colors force 1 to map to the middle.
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	colors := []int{0, 1, 0}
+	q := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	qColors := []int{0, 1, 0}
+	m := NewMatcher(g, colors)
+	got := m.FindInduced(q, qColors, 0)
+	if len(got) != 2 { // identity and the mirror
+		t.Fatalf("found %d color-constrained embeddings, want 2: %v", len(got), got)
+	}
+	// Incompatible colors: none.
+	bad := m.FindInduced(q, []int{1, 0, 1}, 0)
+	if len(bad) != 0 {
+		t.Fatalf("incompatible colors matched: %v", bad)
+	}
+}
+
+func TestMatcherLimit(t *testing.T) {
+	// K5 has 5!/(3!·2!)·3! = 60 ordered triangle embeddings.
+	var edges [][2]int
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	g := graph.FromEdges(5, edges)
+	m := NewMatcher(g, nil)
+	if got := len(m.FindInduced(triangleQuery(), nil, 7)); got != 7 {
+		t.Fatalf("limit ignored: got %d", got)
+	}
+	if got := len(m.FindInduced(triangleQuery(), nil, 0)); got != 60 {
+		t.Fatalf("K5 ordered triangles = %d, want 60", got)
+	}
+}
+
+func TestCanonicalSet(t *testing.T) {
+	got := CanonicalSet([]int{5, 1, 3})
+	if !sort.IntsAreSorted(got) || len(got) != 3 {
+		t.Fatalf("CanonicalSet = %v", got)
+	}
+}

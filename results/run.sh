@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo
+B=/tmp/benchtables
+$B -table 2 -scale 50 -timeout 60s > results/table2.txt 2>&1; echo table2 done
+$B -table 4 -scale 50 -timeout 60s > results/table4.txt 2>&1; echo table4 done
+$B -table 1 -scale 50 > results/table1.txt 2>&1; echo table1 done
+$B -table 3 -scale 50 > results/table3.txt 2>&1; echo table3 done
+$B -table 6 -scale 50 > results/table6.txt 2>&1; echo table6 done
+$B -table 7 -scale 50 -maxsubgraphs 100000 > results/table7.txt 2>&1; echo table7 done
+$B -table 8 -timeout 60s > results/table8.txt 2>&1; echo table8 done
+$B -table 5 -scale 50 -timeout 15s > results/table5.txt 2>&1; echo table5 done

@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+B=/tmp/benchtables
+$B -table 7 -scale 50 -maxsubgraphs 100000 > results/table7.txt 2>&1; echo table7 done
+$B -table 2 -timeout 60s > results/table2.txt 2>&1; echo table2 done
+$B -table 4 -timeout 60s > results/table4.txt 2>&1; echo table4 done
+$B -table 8 -timeout 60s > results/table8.txt 2>&1; echo table8 done
+$B -table 5 -scale 50 -timeout 15s > results/table5.txt 2>&1; echo table5 done
