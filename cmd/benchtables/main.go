@@ -5,16 +5,23 @@
 //
 //	benchtables [-table all|1|2|...|8] [-scale 20] [-timeout 60s]
 //	            [-datasets wikivote,Epinions] [-maxsubgraphs 200000]
+//	            [-json results]
 //
 // Real-graph stand-ins are generated at 1/scale of the paper's sizes;
 // shapes (who wins, where timeouts fall), not absolute seconds, are the
 // comparison target. See EXPERIMENTS.md for recorded runs.
+//
+// -json writes every regenerated table to <dir>/BENCH_table<id>.json,
+// with the search-effort counter snapshots (nodes, prunings, refinement
+// rounds, phase timings) of each instrumented run next to the printed
+// cells — so perf PRs diff counters, not vibes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -27,6 +34,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-algorithm budget (stands in for the paper's 2h)")
 	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all)")
 	maxSubgraphs := flag.Int("maxsubgraphs", 200000, "cap on triangles/cliques clustered in table 7")
+	jsonDir := flag.String("json", "", "also write each table to <dir>/BENCH_table<id>.json with counter snapshots")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -54,10 +62,33 @@ func main() {
 		}
 		order = []string{*table}
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, id := range order {
 		start := time.Now()
 		t := runners[id](cfg)
 		fmt.Println(t.Format())
 		fmt.Printf("(table %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_table"+id+".json")
+			if err := writeTableJSON(path, t); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n\n", path)
+		}
 	}
+}
+
+func writeTableJSON(path string, t bench.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteJSON(f)
 }

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	dvicl [-algo dvicl|nauty|bliss|traces] [-orbits] [-cert] [-stats] [file]
+//	dvicl [-algo dvicl|nauty|bliss|traces] [-orbits] [-cert] [-stats]
+//	      [-workers n] [-metrics-json out.json] [-debug-addr :6060] [file]
 //
 // The input is a whitespace-separated edge list ("u v" per line, '#'
 // comments); stdin is read when no file is given. -algo selects either
 // DviCL (with bliss-policy leaves) or one of the emulated
 // individualization–refinement baselines.
+//
+// -metrics-json dumps the observability snapshot (search-effort counters
+// and per-phase timings) to a file after the run; -debug-addr serves
+// net/http/pprof, expvar (/debug/vars) and the live snapshot
+// (/debug/metrics) for the duration of the run.
 package main
 
 import (
@@ -31,7 +37,20 @@ func main() {
 	showCert := flag.Bool("cert", false, "print the canonical certificate (hex)")
 	showStats := flag.Bool("stats", true, "print AutoTree / search statistics")
 	dump := flag.Bool("dump", false, "print the AutoTree structure (dvicl only)")
+	workers := flag.Int("workers", 0, "parallel subtree builders (dvicl only; 0 = sequential)")
+	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
 	flag.Parse()
+
+	rec := newRecorder(*metricsJSON, *debugAddr)
+	if *debugAddr != "" {
+		srv, err := dvicl.ServeDebug(*debugAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server: http://%s/debug/pprof/\n", srv.Addr)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -51,7 +70,7 @@ func main() {
 	switch *algo {
 	case "dvicl":
 		start := time.Now()
-		tree := dvicl.BuildAutoTree(g, nil, dvicl.Options{})
+		tree := dvicl.BuildAutoTree(g, nil, dvicl.Options{Workers: *workers, Obs: rec})
 		elapsed := time.Since(start)
 		fmt.Printf("dvicl: %v\n", elapsed.Round(time.Microsecond))
 		fmt.Printf("|Aut| = %v\n", tree.AutOrder())
@@ -59,6 +78,8 @@ func main() {
 			s := tree.Stats()
 			fmt.Printf("autotree: nodes=%d singleton=%d non-singleton=%d avg-leaf=%.2f depth=%d\n",
 				s.Nodes, s.SingletonLeaves, s.NonSingletonLeaves, s.AvgLeafSize, s.Depth)
+			fmt.Printf("leaf effort: search-nodes=%d leaves=%d truncated=%d\n",
+				s.LeafSearchNodes, s.LeafSearchLeaves, s.TruncatedLeaves)
 			cells, singles := tree.OrbitStats()
 			fmt.Printf("orbit coloring: cells=%d singleton=%d\n", cells, singles)
 		}
@@ -78,9 +99,13 @@ func main() {
 			"nauty": canon.PolicyNauty, "bliss": canon.PolicyBliss, "traces": canon.PolicyTraces,
 		}[*algo]
 		start := time.Now()
-		res := dvicl.Baseline(g, nil, dvicl.BaselineOptions{Policy: pol})
+		res := dvicl.Baseline(g, nil, dvicl.BaselineOptions{Policy: pol, Obs: rec})
 		elapsed := time.Since(start)
 		fmt.Printf("%s: %v (nodes=%d leaves=%d)\n", *algo, elapsed.Round(time.Microsecond), res.Nodes, res.Leaves)
+		if *showStats {
+			fmt.Printf("prunings: first-path=%d best-path=%d orbit=%d backjumps=%d\n",
+				res.PruneFirstPath, res.PruneBestPath, res.PruneOrbit, res.Backjumps)
+		}
 		fmt.Printf("|Aut| = %v\n", group.New(g.N(), res.Generators).Order())
 		if *showOrbits {
 			printOrbits(group.Orbits(g.N(), res.Generators))
@@ -91,6 +116,32 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
+
+	writeMetrics(*metricsJSON, rec)
+}
+
+// newRecorder returns an enabled recorder when any observability output is
+// requested, and nil (the no-op recorder) otherwise.
+func newRecorder(metricsJSON, debugAddr string) *dvicl.MetricsRecorder {
+	if metricsJSON == "" && debugAddr == "" {
+		return nil
+	}
+	return dvicl.NewMetricsRecorder()
+}
+
+func writeMetrics(path string, rec *dvicl.MetricsRecorder) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := rec.Snapshot().WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics written to %s\n", path)
 }
 
 func printOrbits(orbits [][]int) {

@@ -7,9 +7,14 @@
 //
 //	ssmquery -graph graph.txt -set 3,4,5 [-enumerate 10]
 //	ssmquery -graph graph.txt -triangles [-limit 100000]
+//	ssmquery -graph graph.txt -set 3,4,5 -metrics-json out.json -debug-addr :6060
 //
 // With -triangles it instead clusters all triangles of the graph into
 // symmetry classes (the paper's Table 7 workload).
+//
+// -metrics-json dumps the build and query counters (refinement, leaf
+// search effort, SSM candidates/prunings, phase timings) to a file;
+// -debug-addr serves pprof/expvar live during the run.
 package main
 
 import (
@@ -29,11 +34,26 @@ func main() {
 	enumerate := flag.Int("enumerate", 10, "how many symmetric images to print")
 	triangles := flag.Bool("triangles", false, "cluster all triangles by symmetry instead")
 	limit := flag.Int("limit", 100000, "max triangles to cluster")
+	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
 	flag.Parse()
 
 	if *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required"))
 	}
+	var rec *dvicl.MetricsRecorder
+	if *metricsJSON != "" || *debugAddr != "" {
+		rec = dvicl.NewMetricsRecorder()
+	}
+	if *debugAddr != "" {
+		srv, err := dvicl.ServeDebug(*debugAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server: http://%s/debug/pprof/\n", srv.Addr)
+	}
+	defer writeMetrics(*metricsJSON, rec)
 	f, err := os.Open(*graphPath)
 	if err != nil {
 		fatal(err)
@@ -46,10 +66,11 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
 
 	start := time.Now()
-	tree := dvicl.BuildAutoTree(g, nil, dvicl.Options{})
+	tree := dvicl.BuildAutoTree(g, nil, dvicl.Options{Obs: rec})
 	fmt.Printf("autotree built in %v (|Aut| = %v)\n",
 		time.Since(start).Round(time.Millisecond), tree.AutOrder())
 	ix := dvicl.NewSSMIndex(tree)
+	ix.SetRecorder(rec)
 
 	if *triangles {
 		clusterTriangles(g, ix, *limit)
@@ -99,6 +120,21 @@ func clusterTriangles(g *dvicl.Graph, ix *dvicl.SSMIndex, limit int) {
 	}
 	fmt.Printf("triangles: %d, symmetry clusters: %d, largest cluster: %d (in %v)\n",
 		total, len(counts), max, time.Since(start).Round(time.Millisecond))
+}
+
+func writeMetrics(path string, rec *dvicl.MetricsRecorder) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := rec.Snapshot().WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics written to %s\n", path)
 }
 
 func fatal(err error) {

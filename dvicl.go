@@ -33,6 +33,7 @@ import (
 	"dvicl/internal/graph"
 	"dvicl/internal/group"
 	"dvicl/internal/im"
+	"dvicl/internal/obs"
 	"dvicl/internal/perm"
 	"dvicl/internal/ssm"
 )
@@ -98,6 +99,20 @@ type PermGroup = group.Group
 // statistics.
 type Dataset = gen.Dataset
 
+// MetricsRecorder collects the pipeline's observability counters and phase
+// timers (see internal/obs). Attach one via Options.Obs /
+// BaselineOptions.Obs / SSMIndex.SetRecorder; a nil recorder is a valid
+// no-op, so instrumented paths cost one predictable branch when disabled.
+type MetricsRecorder = obs.Recorder
+
+// MetricsSnapshot is a JSON-serializable point-in-time copy of a
+// MetricsRecorder: every counter by name plus per-phase timing stats.
+type MetricsSnapshot = obs.Snapshot
+
+// DebugServer serves /debug/pprof/, /debug/vars and /debug/metrics for a
+// recorder (see ServeDebug).
+type DebugServer = obs.DebugServer
+
 // NewBuilder returns a Builder for a graph on n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
@@ -146,13 +161,19 @@ func CanonicalCert(g *Graph, pi *Coloring, opt Options) []byte {
 // census) screens out most non-isomorphic pairs; ties are settled by the
 // DviCL canonical certificates.
 func Isomorphic(g1, g2 *Graph) bool {
+	return IsomorphicOpt(g1, g2, Options{})
+}
+
+// IsomorphicOpt is Isomorphic with explicit DviCL options — e.g. an
+// observability recorder (Options.Obs) or a worker pool (Options.Workers).
+func IsomorphicOpt(g1, g2 *Graph, opt Options) bool {
 	if g1.N() != g2.N() || g1.M() != g2.M() {
 		return false
 	}
 	if g1.Fingerprint() != g2.Fingerprint() {
 		return false
 	}
-	return bytes.Equal(CanonicalCert(g1, nil, Options{}), CanonicalCert(g2, nil, Options{}))
+	return bytes.Equal(CanonicalCert(g1, nil, opt), CanonicalCert(g2, nil, opt))
 }
 
 // AutomorphismGroup returns generators of Aut(G) and its order, via the
@@ -218,6 +239,17 @@ func Baseline(g *Graph, pi *Coloring, opt BaselineOptions) BaselineResult {
 
 // NewSSMIndex builds a symmetric-subgraph-matching index over an AutoTree.
 func NewSSMIndex(t *AutoTree) *SSMIndex { return ssm.NewIndex(t) }
+
+// NewMetricsRecorder returns an empty enabled recorder.
+func NewMetricsRecorder() *MetricsRecorder { return obs.New() }
+
+// ServeDebug exposes a recorder's live snapshot plus net/http/pprof and
+// expvar on addr (e.g. "localhost:6060"; port ":0" picks a free one) so
+// long canonical-labeling runs can be profiled while they execute. Close
+// the returned server when done.
+func ServeDebug(addr string, r *MetricsRecorder) (*DebugServer, error) {
+	return obs.ServeDebug(addr, r)
+}
 
 // NewSubgraphMatcher returns an induced-subgraph matcher over a data
 // graph; colors may be nil.

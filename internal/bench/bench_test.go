@@ -94,3 +94,28 @@ func TestFmtBig(t *testing.T) {
 		t.Fatalf("fmtBig = %q", got)
 	}
 }
+
+func TestTableSnapshotsInJSON(t *testing.T) {
+	tb := Table3(tinyCfg("wikivote"))
+	if len(tb.Snapshots) != len(tb.Rows) {
+		t.Fatalf("snapshots = %d, rows = %d", len(tb.Snapshots), len(tb.Rows))
+	}
+	snap, ok := tb.Snapshots[0]["dvicl"]
+	if !ok {
+		t.Fatalf("no dvicl snapshot: %v", tb.Snapshots[0])
+	}
+	if snap.Counters["refine_calls"] == 0 {
+		t.Fatal("instrumented build recorded no refinement")
+	}
+
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"cells"`, `"counters"`, `"dvicl"`, `"refine_calls"`, `"phases"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("BENCH json missing %s:\n%.400s", want, out)
+		}
+	}
+}

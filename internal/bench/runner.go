@@ -7,12 +7,16 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dvicl/internal/obs"
 )
 
 // Measurement is one timed run.
@@ -80,6 +84,49 @@ type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+	// Snapshots, when a table instruments its runs, holds the obs
+	// snapshot of every run of row i, keyed by run label (e.g. "dvicl",
+	// "nauty", "dvicl+bliss"). It parallels Rows; nil entries (or a nil
+	// slice) mean the table was not instrumented. The snapshots ride
+	// along into WriteJSON so BENCH_*.json rows carry search-effort
+	// counters next to wall times.
+	Snapshots []map[string]obs.Snapshot
+}
+
+// rowJSON is one table row in the JSON rendering: the printed cells keyed
+// by header, plus the per-run counter snapshots when recorded.
+type rowJSON struct {
+	Cells    map[string]string       `json:"cells"`
+	Counters map[string]obs.Snapshot `json:"counters,omitempty"`
+}
+
+// tableJSON is the machine-readable rendering of a Table.
+type tableJSON struct {
+	Title  string    `json:"title"`
+	Header []string  `json:"header"`
+	Rows   []rowJSON `json:"rows"`
+}
+
+// WriteJSON writes the table (cells plus any recorded counter snapshots)
+// as indented JSON — the BENCH_*.json format cmd/benchtables emits so perf
+// PRs can diff counters, not vibes.
+func (t Table) WriteJSON(w io.Writer) error {
+	out := tableJSON{Title: t.Title, Header: t.Header}
+	for i, row := range t.Rows {
+		r := rowJSON{Cells: make(map[string]string, len(row))}
+		for j, cell := range row {
+			if j < len(t.Header) {
+				r.Cells[t.Header[j]] = cell
+			}
+		}
+		if i < len(t.Snapshots) {
+			r.Counters = t.Snapshots[i]
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // Format renders the table with aligned columns.

@@ -10,6 +10,7 @@ import (
 	"dvicl/internal/gen"
 	"dvicl/internal/graph"
 	"dvicl/internal/im"
+	"dvicl/internal/obs"
 	"dvicl/internal/ssm"
 )
 
@@ -90,8 +91,10 @@ func Table3(cfg Config) Table {
 			continue
 		}
 		g := d.Build(cfg.Scale)
-		tree := core.Build(g, nil, core.Options{})
+		rec := obs.New()
+		tree := core.Build(g, nil, core.Options{Obs: rec})
 		t.Rows = append(t.Rows, autotreeRow(d.Name, tree))
+		t.Snapshots = append(t.Snapshots, map[string]obs.Snapshot{"dvicl": rec.Snapshot()})
 	}
 	return t
 }
@@ -108,8 +111,10 @@ func Table4(cfg Config) Table {
 			continue
 		}
 		g := d.Build(1)
-		tree := core.Build(g, nil, core.Options{LeafTimeout: cfg.Timeout})
+		rec := obs.New()
+		tree := core.Build(g, nil, core.Options{LeafTimeout: cfg.Timeout, Obs: rec})
 		t.Rows = append(t.Rows, autotreeRow(d.Name, tree))
+		t.Snapshots = append(t.Snapshots, map[string]obs.Snapshot{"dvicl": rec.Snapshot()})
 	}
 	return t
 }
@@ -118,33 +123,41 @@ func Table4(cfg Config) Table {
 var policies = []canon.Policy{canon.PolicyNauty, canon.PolicyTraces, canon.PolicyBliss}
 
 // runComparison measures X and DviCL+X for every policy on one graph.
-func runComparison(g *graph.Graph, timeout time.Duration) []string {
+// Each run records into a fresh obs recorder; the snapshots are returned
+// keyed by run label so comparison tables carry search-effort counters
+// next to wall times.
+func runComparison(g *graph.Graph, timeout time.Duration) ([]string, map[string]obs.Snapshot) {
 	var cells []string
+	snaps := make(map[string]obs.Snapshot, 2*len(policies))
 	for _, pol := range policies {
 		// X alone.
+		rec := obs.New()
 		var res canon.Result
 		m := Measure(func() bool {
-			res = canon.Canonical(g, nil, canon.Options{Policy: pol, Deadline: time.Now().Add(timeout)})
+			res = canon.Canonical(g, nil, canon.Options{Policy: pol, Deadline: time.Now().Add(timeout), Obs: rec})
 			return !res.Truncated
 		})
+		snaps[pol.String()] = rec.Snapshot()
 		if m.TimedOut {
 			cells = append(cells, "-", "-")
 		} else {
 			cells = append(cells, fmtDur(m.Time), fmtMB(m.PeakMB))
 		}
 		// DviCL+X.
+		rec = obs.New()
 		var tree *core.Tree
 		m = Measure(func() bool {
-			tree = core.Build(g, nil, core.Options{LeafPolicy: pol, LeafTimeout: timeout})
+			tree = core.Build(g, nil, core.Options{LeafPolicy: pol, LeafTimeout: timeout, Obs: rec})
 			return !tree.Truncated
 		})
+		snaps["dvicl+"+pol.String()] = rec.Snapshot()
 		if m.TimedOut || m.Time > timeout {
 			cells = append(cells, "-", "-")
 		} else {
 			cells = append(cells, fmtDur(m.Time), fmtMB(m.PeakMB))
 		}
 	}
-	return cells
+	return cells, snaps
 }
 
 func comparisonHeader() []string {
@@ -171,7 +184,9 @@ func Table5(cfg Config) Table {
 			continue
 		}
 		g := d.Build(cfg.Scale)
-		t.Rows = append(t.Rows, append([]string{d.Name}, runComparison(g, cfg.Timeout)...))
+		cells, snaps := runComparison(g, cfg.Timeout)
+		t.Rows = append(t.Rows, append([]string{d.Name}, cells...))
+		t.Snapshots = append(t.Snapshots, snaps)
 	}
 	return t
 }
@@ -188,7 +203,9 @@ func Table8(cfg Config) Table {
 			continue
 		}
 		g := d.Build(1)
-		t.Rows = append(t.Rows, append([]string{d.Name}, runComparison(g, cfg.Timeout)...))
+		cells, snaps := runComparison(g, cfg.Timeout)
+		t.Rows = append(t.Rows, append([]string{d.Name}, cells...))
+		t.Snapshots = append(t.Snapshots, snaps)
 	}
 	return t
 }
@@ -206,8 +223,10 @@ func Table6(cfg Config) Table {
 			continue
 		}
 		g := d.Build(cfg.Scale)
-		tree := core.Build(g, nil, core.Options{})
+		rec := obs.New()
+		tree := core.Build(g, nil, core.Options{Obs: rec})
 		ix := ssm.NewIndex(tree)
+		ix.SetRecorder(rec)
 		// IC probability as in the paper's setup: constant per edge.
 		model := im.NewIC(g, 0.05, 64, 42)
 		row := []string{d.Name}
@@ -219,6 +238,7 @@ func Table6(cfg Config) Table {
 			row = append(row, fmtBig(count.String()), fmtDur(elapsed))
 		}
 		t.Rows = append(t.Rows, row)
+		t.Snapshots = append(t.Snapshots, map[string]obs.Snapshot{"dvicl+ssm": rec.Snapshot()})
 	}
 	return t
 }

@@ -18,6 +18,7 @@ import (
 
 	"dvicl/internal/coloring"
 	"dvicl/internal/graph"
+	"dvicl/internal/obs"
 	"dvicl/internal/perm"
 )
 
@@ -66,6 +67,11 @@ type Options struct {
 	// the mode of the paper's saucy [9], which "only finds graph
 	// symmetries". Result.Canon/Cert are then unspecified.
 	AutomorphismsOnly bool
+	// Obs, when non-nil, receives the search-effort counters (nodes,
+	// leaves, prunings, automorphisms, backjumps, truncations) and the
+	// refinement counters of every Refine the search performs. Search
+	// counts are accumulated locally and flushed once per Canonical call.
+	Obs *obs.Recorder
 }
 
 // Result is the outcome of a canonical-labeling search.
@@ -83,6 +89,17 @@ type Result struct {
 	Nodes int64
 	// Leaves is the number of leaves (discrete colorings) reached.
 	Leaves int64
+	// PruneFirstPath counts subtrees cut by the first-path invariant
+	// (P_A): the trace diverged from the leftmost leaf's while only
+	// automorphisms against it were still reachable.
+	PruneFirstPath int64
+	// PruneBestPath counts subtrees cut by the best-path invariant (P_B):
+	// the trace exceeded the current canonical candidate's.
+	PruneBestPath int64
+	// PruneOrbit counts candidates cut by orbit pruning (P_C).
+	PruneOrbit int64
+	// Backjumps counts bliss-style automorphism backjumps taken.
+	Backjumps int64
 	// Truncated reports that MaxNodes was hit; Canon/Cert are then
 	// best-effort only.
 	Truncated bool
@@ -98,17 +115,33 @@ func Canonical(g *graph.Graph, pi *coloring.Coloring, opt Options) Result {
 		pi = pi.Clone()
 	}
 	s := &search{g: g, opt: opt, n: n, rootCells: cellSizes(pi), backjump: -1}
-	rootTrace := pi.Refine(g, nil)
+	rootTrace := pi.RefineObserved(g, nil, opt.Obs)
 	s.run(pi, []uint64{rootTrace}, nil)
 	res := Result{
-		Generators: s.gens,
-		Nodes:      s.nodes,
-		Leaves:     s.leaves,
-		Truncated:  s.truncated,
+		Generators:     s.gens,
+		Nodes:          s.nodes,
+		Leaves:         s.leaves,
+		PruneFirstPath: s.pruneFirst,
+		PruneBestPath:  s.pruneBest,
+		PruneOrbit:     s.pruneOrbit,
+		Backjumps:      s.backjumps,
+		Truncated:      s.truncated,
 	}
 	if s.best != nil {
 		res.Canon = s.best.gamma
 		res.Cert = s.best.cert
+	}
+	if rec := opt.Obs; rec != nil {
+		rec.Add(obs.SearchNodes, res.Nodes)
+		rec.Add(obs.SearchLeaves, res.Leaves)
+		rec.Add(obs.PruneFirstPath, res.PruneFirstPath)
+		rec.Add(obs.PruneBestPath, res.PruneBestPath)
+		rec.Add(obs.PruneOrbit, res.PruneOrbit)
+		rec.Add(obs.Automorphisms, int64(len(res.Generators)))
+		rec.Add(obs.Backjumps, res.Backjumps)
+		if res.Truncated {
+			rec.Inc(obs.Truncations)
+		}
 	}
 	return res
 }
@@ -130,11 +163,15 @@ type search struct {
 	first *leaf // leftmost leaf: reference for automorphism discovery (P_A)
 	best  *leaf // current canonical candidate (P_B)
 
-	gens      []perm.Perm
-	genSet    map[string]bool // packed-image dedup keys of gens
-	nodes     int64
-	leaves    int64
-	truncated bool
+	gens       []perm.Perm
+	genSet     map[string]bool // packed-image dedup keys of gens
+	nodes      int64
+	leaves     int64
+	pruneFirst int64
+	pruneBest  int64
+	pruneOrbit int64
+	backjumps  int64
+	truncated  bool
 	// backjump, when ≥ 0, unwinds the recursion to the node at that depth
 	// (bliss-style automorphism backjumping: after discovering an
 	// automorphism against the leftmost leaf, everything between the
@@ -182,11 +219,12 @@ func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
 			return
 		}
 		if pruner.pruned(s.gens, v) {
+			s.pruneOrbit++
 			continue
 		}
 		child := c.Clone()
 		sing, rest := child.Individualize(v)
-		t := child.Refine(s.g, []int{sing, rest})
+		t := child.RefineObserved(s.g, []int{sing, rest}, s.opt.Obs)
 		level := len(trace)
 		childTrace := append(append([]uint64(nil), trace...), t)
 		if !s.keepChild(t, level) {
@@ -288,6 +326,9 @@ func (o *orbitPruner) markExplored(v int) {
 func (s *search) keepChild(t uint64, level int) bool {
 	matchFirst := s.first != nil && level < len(s.first.trace) && s.first.trace[level] == t
 	if s.opt.AutomorphismsOnly && s.first != nil {
+		if !matchFirst {
+			s.pruneFirst++
+		}
 		return matchFirst
 	}
 	if s.best == nil {
@@ -296,6 +337,9 @@ func (s *search) keepChild(t uint64, level int) bool {
 	if level >= len(s.best.trace) {
 		// The best path is shallower; by the shorter-is-smaller rule this
 		// deeper subtree cannot beat it, but may still hold automorphisms.
+		if !matchFirst {
+			s.pruneBest++
+		}
 		return matchFirst
 	}
 	switch {
@@ -307,6 +351,9 @@ func (s *search) keepChild(t uint64, level int) bool {
 	case t == s.best.trace[level]:
 		return true
 	default:
+		if !matchFirst {
+			s.pruneBest++
+		}
 		return matchFirst
 	}
 }
@@ -330,6 +377,7 @@ func (s *search) visitLeaf(c *coloring.Coloring, trace []uint64, path []int) {
 				cp++
 			}
 			s.backjump = cp
+			s.backjumps++
 		}
 	}
 	if s.best == nil {

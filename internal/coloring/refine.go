@@ -2,6 +2,7 @@ package coloring
 
 import (
 	"dvicl/internal/graph"
+	"dvicl/internal/obs"
 )
 
 // fnv1a64 constants for the refinement trace hash.
@@ -34,10 +35,28 @@ func mix(h uint64, x uint64) uint64 {
 // to the sizes of the touched cells: members with zero splitter-neighbors
 // stay in place as the (implicit, minimal-count) first fragment.
 func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
+	h, _, _ := c.refine(g, active)
+	return h
+}
+
+// RefineObserved is Refine reporting into rec (which may be nil):
+// obs.RefineCalls (one trace hash per call), obs.RefineRounds (splitter
+// cells processed) and obs.CellSplits (new cell fragments created by
+// splitting). Counts are accumulated in locals and flushed once at the
+// end, so the refinement loop itself carries no atomic traffic.
+func (c *Coloring) RefineObserved(g *graph.Graph, active []int, rec *obs.Recorder) uint64 {
+	h, rounds, splits := c.refine(g, active)
+	rec.Inc(obs.RefineCalls)
+	rec.Add(obs.RefineRounds, rounds)
+	rec.Add(obs.CellSplits, splits)
+	return h
+}
+
+func (c *Coloring) refine(g *graph.Graph, active []int) (trace uint64, rounds, splits int64) {
 	n := c.N()
 	h := uint64(fnvOffset)
 	if n == 0 {
-		return h
+		return h, 0, 0
 	}
 	inWork := make([]bool, n)
 	var queue []int
@@ -67,6 +86,7 @@ func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
 		ws := queue[0]
 		queue = queue[1:]
 		inWork[ws] = false
+		rounds++
 		we := c.ce[ws]
 		h = mix(h, uint64(ws)<<32|uint64(we))
 
@@ -103,7 +123,9 @@ func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
 			for j < len(touched) && c.cs[c.pos[touched[j]]] == s {
 				j++
 			}
-			h = c.splitTouched(s, touched[i:j], cnt, h, inWork, push)
+			var added int
+			h, added = c.splitTouched(s, touched[i:j], cnt, h, inWork, push)
+			splits += int64(added)
 			i = j
 		}
 		for _, v := range touched {
@@ -117,13 +139,14 @@ func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
 	for s := 0; s < n; s = c.ce[s] {
 		h = mix(h, uint64(s)<<32|uint64(c.ce[s]-s))
 	}
-	return h
+	return h, rounds, splits
 }
 
 // splitTouched splits the cell starting at s given its touched members
 // (sorted by ascending count); untouched members keep count zero and stay
-// in place as the first fragment. Runs in O(len(group)).
-func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork []bool, push func(int)) uint64 {
+// in place as the first fragment. Runs in O(len(group)). It returns the
+// updated trace hash and the number of new cell fragments created.
+func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork []bool, push func(int)) (uint64, int) {
 	e := c.ce[s]
 	t := len(group)
 	zeros := (e - s) - t
@@ -137,7 +160,7 @@ func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork 
 	}
 	if zeros == 0 && oneCount {
 		// Whole cell has one uniform count: no split.
-		return mix(h, uint64(s)<<32|uint64(cnt[group[0]]))
+		return mix(h, uint64(s)<<32|uint64(cnt[group[0]])), 0
 	}
 	// Move touched members to the cell's tail, descending count from the
 	// back, so fragments end up ordered: zeros first, then ascending
@@ -196,7 +219,7 @@ func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork 
 			push(f.start)
 		}
 	}
-	return h
+	return h, len(frags) - 1
 }
 
 // IsEquitable reports whether c is equitable with respect to g: for every

@@ -1,0 +1,61 @@
+package coloring
+
+import (
+	"testing"
+
+	"dvicl/internal/graph"
+	"dvicl/internal/obs"
+)
+
+// TestRefineObservedMatchesRefine: the instrumented entry point must
+// produce the same trace and final coloring as the plain one, and report
+// the work it did.
+func TestRefineObservedMatchesRefine(t *testing.T) {
+	// A path P5 refines the unit coloring to discrete-ish cells.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+
+	plain := Unit(5)
+	h1 := plain.Refine(g, nil)
+
+	rec := obs.New()
+	observed := Unit(5)
+	h2 := observed.RefineObserved(g, nil, rec)
+
+	if h1 != h2 {
+		t.Fatalf("traces differ: %#x vs %#x", h1, h2)
+	}
+	if plain.String() != observed.String() {
+		t.Fatalf("colorings differ: %v vs %v", plain, observed)
+	}
+	if got := rec.Counter(obs.RefineCalls); got != 1 {
+		t.Fatalf("refine_calls = %d, want 1", got)
+	}
+	if rec.Counter(obs.RefineRounds) == 0 {
+		t.Fatal("no refinement rounds recorded")
+	}
+	// Unit → 3 cells on P5 means at least two splits happened.
+	if got := rec.Counter(obs.CellSplits); got < 2 {
+		t.Fatalf("cell_splits = %d, want >= 2", got)
+	}
+
+	// A nil recorder is fine too.
+	again := Unit(5)
+	if h3 := again.RefineObserved(g, nil, nil); h3 != h1 {
+		t.Fatalf("nil-recorder trace differs: %#x vs %#x", h3, h1)
+	}
+}
+
+// TestRefineObservedNoSplit: refining an already-equitable coloring of a
+// regular graph records a call and rounds but no splits.
+func TestRefineObservedNoSplit(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}) // C4, regular
+	rec := obs.New()
+	c := Unit(4)
+	c.RefineObserved(g, nil, rec)
+	if got := rec.Counter(obs.CellSplits); got != 0 {
+		t.Fatalf("cell_splits = %d on a regular graph, want 0", got)
+	}
+	if got := rec.Counter(obs.RefineCalls); got != 1 {
+		t.Fatalf("refine_calls = %d, want 1", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dvicl/internal/canon"
 	"dvicl/internal/coloring"
 	"dvicl/internal/graph"
+	"dvicl/internal/obs"
 	"dvicl/internal/perm"
 )
 
@@ -46,6 +47,11 @@ type Options struct {
 	// are independent, so up to Workers of them build concurrently.
 	// 0 or 1 means sequential. The resulting tree is identical either way.
 	Workers int
+	// Obs, when non-nil, receives per-phase wall times (refine, twins,
+	// divide, combine) and effort counters for the whole build, including
+	// every leaf search's. A nil recorder costs one predictable branch
+	// per instrumentation point.
+	Obs *obs.Recorder
 }
 
 // NodeKind distinguishes the three node shapes of an AutoTree.
@@ -62,6 +68,19 @@ const (
 	KindInternal
 )
 
+// String names the node kind for dumps, logs and metric labels.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSingleton:
+		return "singleton"
+	case KindLeaf:
+		return "leaf"
+	case KindInternal:
+		return "internal"
+	}
+	return "unknown"
+}
+
 // DivideKind records which division produced a node's children.
 type DivideKind int
 
@@ -73,6 +92,19 @@ const (
 	// DividedS marks nodes divided by DivideS (clique/biclique removal).
 	DividedS
 )
+
+// String names the division for dumps, logs and metric labels.
+func (k DivideKind) String() string {
+	switch k {
+	case DividedNone:
+		return "none"
+	case DividedI:
+		return "I"
+	case DividedS:
+		return "S"
+	}
+	return "unknown"
+}
 
 // Node is an AutoTree node: a colored subgraph (g, πg) of (G, π) together
 // with its canonical labeling and certificate.
@@ -102,6 +134,13 @@ type Node struct {
 	localGens []perm.Perm
 	// localGraph is the reduced local graph of a non-singleton leaf.
 	localGraph *graph.Graph
+	// leafNodes/leafLeaves/leafTruncated record the leaf engine's search
+	// effort for a non-singleton leaf (canon.Result.Nodes/Leaves/
+	// Truncated). They feed Stats and are not serialized: a loaded tree
+	// reports zero effort, since no search ran to produce it.
+	leafNodes     int64
+	leafLeaves    int64
+	leafTruncated bool
 }
 
 // Size returns the number of vertices of the node's subgraph.
@@ -181,8 +220,11 @@ func Build(g *graph.Graph, pi *coloring.Coloring, opt Options) *Tree {
 	} else {
 		pi = pi.Clone()
 	}
+	buildSpan := opt.Obs.StartPhase(obs.PhaseBuild)
 	// Line 1–2 of Algorithm 1: equitable refinement, then color values.
-	pi.Refine(g, nil)
+	refineSpan := opt.Obs.StartPhase(obs.PhaseRefine)
+	pi.RefineObserved(g, nil, opt.Obs)
+	refineSpan.End()
 	colors := make([]int, n)
 	for v := 0; v < n; v++ {
 		colors[v] = pi.Color(v)
@@ -212,6 +254,7 @@ func Build(g *graph.Graph, pi *coloring.Coloring, opt Options) *Tree {
 		t.Gamma = perm.Perm{}
 	}
 	t.indexLeaves()
+	buildSpan.End()
 	return t
 }
 
@@ -237,13 +280,24 @@ func (t *Tree) indexLeaves() {
 	}
 }
 
-// Stats summarizes the AutoTree structure — the columns of Tables 3 and 4.
+// Stats summarizes the AutoTree structure — the columns of Tables 3 and 4 —
+// plus the aggregate leaf-engine search effort (the paper's "search nodes"
+// effort metric, summed over every non-singleton leaf).
 type Stats struct {
 	Nodes              int
 	SingletonLeaves    int
 	NonSingletonLeaves int
 	AvgLeafSize        float64 // average size of non-singleton leaves
 	Depth              int     // edges on the longest root-leaf path
+	// LeafSearchNodes is the total number of search-tree nodes the leaf
+	// engine visited across all non-singleton leaves.
+	LeafSearchNodes int64
+	// LeafSearchLeaves is the total number of discrete colorings the leaf
+	// engine reached across all non-singleton leaves.
+	LeafSearchLeaves int64
+	// TruncatedLeaves counts non-singleton leaves whose search hit
+	// LeafMaxNodes or LeafTimeout (labeling is then best-effort).
+	TruncatedLeaves int
 }
 
 // Stats computes the Table 3/4 columns for the tree.
@@ -262,6 +316,11 @@ func (t *Tree) Stats() Stats {
 			} else {
 				s.NonSingletonLeaves++
 				sizeSum += nd.Size()
+				s.LeafSearchNodes += nd.leafNodes
+				s.LeafSearchLeaves += nd.leafLeaves
+				if nd.leafTruncated {
+					s.TruncatedLeaves++
+				}
 			}
 			return
 		}

@@ -10,6 +10,7 @@ import (
 
 	"dvicl/internal/canon"
 	"dvicl/internal/coloring"
+	"dvicl/internal/obs"
 )
 
 // descriptor accumulates the removal record of a division in a canonical
@@ -67,9 +68,15 @@ func (b *builder) cl(sg *subgraph) *Node {
 		b.makeSingleton(nd)
 		return nd
 	}
+	b.opt.Obs.Inc(obs.DivideICalls)
+	spanI := b.opt.Obs.StartPhase(obs.PhaseDivideI)
 	div := b.divideI(sg)
+	spanI.End()
 	if div == nil && !b.opt.DisableDivideS {
+		b.opt.Obs.Inc(obs.DivideSCalls)
+		spanS := b.opt.Obs.StartPhase(obs.PhaseDivideS)
 		div = b.divideS(sg)
+		spanS.End()
 	}
 	if div == nil {
 		b.combineCL(nd, sg)
@@ -99,6 +106,7 @@ func (b *builder) buildChildren(subs []*subgraph) []*Node {
 	for i, child := range subs {
 		select {
 		case b.sem <- struct{}{}:
+			b.opt.Obs.Inc(obs.WorkerSpawns)
 			wg.Add(1)
 			go func(i int, c *subgraph) {
 				defer wg.Done()
@@ -106,6 +114,7 @@ func (b *builder) buildChildren(subs []*subgraph) []*Node {
 				nodes[i] = b.cl(c)
 			}(i, child)
 		default:
+			b.opt.Obs.Inc(obs.WorkerInline)
 			nodes[i] = b.cl(child)
 		}
 	}
@@ -128,6 +137,9 @@ func (b *builder) makeSingleton(nd *Node) {
 // vertices, yielding vᵞᵍ = π(v) + rank.
 func (b *builder) combineCL(nd *Node, sg *subgraph) {
 	nd.Kind = KindLeaf
+	b.opt.Obs.Inc(obs.LeafSearches)
+	span := b.opt.Obs.StartPhase(obs.PhaseCombineCL)
+	defer span.End()
 	cells := b.cellsOf(sg)
 	pi, err := coloring.FromCells(len(sg.verts), cells)
 	if err != nil {
@@ -136,11 +148,15 @@ func (b *builder) combineCL(nd *Node, sg *subgraph) {
 	copt := canon.Options{
 		Policy:   b.opt.LeafPolicy,
 		MaxNodes: b.opt.LeafMaxNodes,
+		Obs:      b.opt.Obs,
 	}
 	if b.opt.LeafTimeout > 0 {
 		copt.Deadline = time.Now().Add(b.opt.LeafTimeout)
 	}
 	res := canon.Canonical(sg.local, pi, copt)
+	nd.leafNodes = res.Nodes
+	nd.leafLeaves = res.Leaves
+	nd.leafTruncated = res.Truncated
 	if res.Truncated {
 		b.markTruncated()
 	}
@@ -197,6 +213,8 @@ func leafCert(nd *Node, sg *subgraph, cells [][]int, b *builder) []byte {
 // It is re-runnable: twin expansion (Section 6.1) calls it again after
 // inserting children.
 func (b *builder) combineST(nd *Node) {
+	span := b.opt.Obs.StartPhase(obs.PhaseCombineST)
+	defer span.End()
 	sort.SliceStable(nd.Children, func(i, j int) bool {
 		return bytes.Compare(nd.Children[i].Cert, nd.Children[j].Cert) < 0
 	})

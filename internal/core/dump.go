@@ -25,20 +25,12 @@ func (t *Tree) Dump(w io.Writer, maxVerts int) error {
 
 func dumpNode(w io.Writer, nd *Node, depth, maxVerts int) error {
 	indent := strings.Repeat("  ", depth)
-	kind := map[NodeKind]string{
-		KindSingleton: "singleton",
-		KindLeaf:      "leaf",
-		KindInternal:  "internal",
-	}[nd.Kind]
 	divide := ""
-	switch nd.Divide {
-	case DividedI:
-		divide = " divide=I"
-	case DividedS:
-		divide = " divide=S"
+	if nd.Divide != DividedNone {
+		divide = " divide=" + nd.Divide.String()
 	}
 	if _, err := fmt.Fprintf(w, "%s%s%s verts=%s cert=%s\n",
-		indent, kind, divide, vertsString(nd.Verts, maxVerts), certPrefix(nd.Cert)); err != nil {
+		indent, nd.Kind, divide, vertsString(nd.Verts, maxVerts), certPrefix(nd.Cert)); err != nil {
 		return err
 	}
 	for i, c := range nd.Children {

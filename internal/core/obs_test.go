@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dvicl/internal/graph"
+	"dvicl/internal/obs"
+)
+
+// TestObservedBuildCounters checks that an instrumented build reports the
+// work it actually did: refinement happened, DivideI was attempted, the
+// leaf effort recorded in Stats matches the recorder's counters, and the
+// whole-build phase fired exactly once.
+func TestObservedBuildCounters(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := randGraph(r, 60, 3)
+	rec := obs.New()
+	tree := Build(g, nil, Options{Obs: rec})
+	s := tree.Stats()
+
+	snap := rec.Snapshot()
+	if snap.Counters["refine_calls"] == 0 {
+		t.Fatal("no refinement recorded")
+	}
+	if snap.Counters["divide_i_calls"] == 0 {
+		t.Fatal("no DivideI attempts recorded")
+	}
+	if got := rec.Counter(obs.LeafSearches); got != int64(s.NonSingletonLeaves) {
+		t.Fatalf("leaf_searches = %d, want %d non-singleton leaves", got, s.NonSingletonLeaves)
+	}
+	if got := rec.Counter(obs.SearchNodes); got != s.LeafSearchNodes {
+		t.Fatalf("search_nodes = %d, Stats.LeafSearchNodes = %d", got, s.LeafSearchNodes)
+	}
+	if got := rec.Counter(obs.SearchLeaves); got != s.LeafSearchLeaves {
+		t.Fatalf("search_leaves = %d, Stats.LeafSearchLeaves = %d", got, s.LeafSearchLeaves)
+	}
+	if ps, ok := snap.Phases["build"]; !ok || ps.Count != 1 {
+		t.Fatalf("build phase = %+v, want exactly one span", snap.Phases["build"])
+	}
+	if _, ok := snap.Phases["refine"]; !ok {
+		t.Fatal("refine phase missing")
+	}
+}
+
+// TestUnobservedBuildUnchanged: a nil recorder must not change the result.
+func TestUnobservedBuildUnchanged(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := randGraph(r, 40+10*trial, 3)
+		plain := Build(g, nil, Options{})
+		observed := Build(g, nil, Options{Obs: obs.New()})
+		if !bytes.Equal(plain.CanonicalCert(), observed.CanonicalCert()) {
+			t.Fatal("recorder changed the certificate")
+		}
+		if plain.Stats() != observed.Stats() {
+			t.Fatalf("recorder changed the tree: %+v vs %+v", plain.Stats(), observed.Stats())
+		}
+	}
+}
+
+// TestParallelBuildIdenticalCounters asserts the satellite guarantee: a
+// parallel build (Workers > 1) produces byte-identical certificates,
+// identical Stats (including leaf search effort), and identical effort
+// counters as the sequential build — the only permitted difference is how
+// subtree builds were scheduled (worker_spawns / worker_inline). Run under
+// -race this also exercises the recorder's concurrent use.
+func TestParallelBuildIdenticalCounters(t *testing.T) {
+	schedulingCounters := map[string]bool{
+		obs.WorkerSpawns.String(): true,
+		obs.WorkerInline.String(): true,
+	}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + r.Intn(80)
+		g := randGraph(r, n, 3)
+		recSeq, recPar := obs.New(), obs.New()
+		seq := Build(g, nil, Options{Obs: recSeq})
+		par := Build(g, nil, Options{Workers: 8, Obs: recPar})
+
+		if !bytes.Equal(seq.CanonicalCert(), par.CanonicalCert()) {
+			t.Fatalf("parallel build changed the certificate (n=%d)", n)
+		}
+		if seq.Stats() != par.Stats() {
+			t.Fatalf("parallel build changed Stats: %+v vs %+v", seq.Stats(), par.Stats())
+		}
+		sSeq, sPar := recSeq.Snapshot(), recPar.Snapshot()
+		for name, v := range sSeq.Counters {
+			if schedulingCounters[name] {
+				continue
+			}
+			if sPar.Counters[name] != v {
+				t.Fatalf("counter %s: sequential %d, parallel %d (n=%d)",
+					name, v, sPar.Counters[name], n)
+			}
+		}
+		// Phase span counts (not durations) must also agree; the twins
+		// and build phases fire identically, and every divide/combine
+		// runs exactly once per node either way.
+		for name, ps := range sSeq.Phases {
+			if sPar.Phases[name].Count != ps.Count {
+				t.Fatalf("phase %s: sequential count %d, parallel count %d",
+					name, ps.Count, sPar.Phases[name].Count)
+			}
+		}
+	}
+}
+
+// TestTwinCollapseCounter: a graph dominated by twins must report the
+// collapsed vertices.
+func TestTwinCollapseCounter(t *testing.T) {
+	// A star: all leaves are pairwise twins (non-adjacent, same neighbor).
+	gb := graph.NewBuilder(9)
+	for v := 1; v < 9; v++ {
+		gb.AddEdge(0, v)
+	}
+	rec := obs.New()
+	Build(gb.Build(), nil, Options{Obs: rec})
+	if got := rec.Counter(obs.TwinVertsCollapsed); got != 7 {
+		t.Fatalf("twin_verts_collapsed = %d, want 7 (8 leaves, 1 representative kept)", got)
+	}
+}
+
+// TestKindStrings covers the String methods used by dumps and labels.
+func TestKindStrings(t *testing.T) {
+	if KindSingleton.String() != "singleton" || KindLeaf.String() != "leaf" ||
+		KindInternal.String() != "internal" || NodeKind(99).String() != "unknown" {
+		t.Fatal("NodeKind.String mismatch")
+	}
+	if DividedNone.String() != "none" || DividedI.String() != "I" ||
+		DividedS.String() != "S" || DivideKind(99).String() != "unknown" {
+		t.Fatal("DivideKind.String mismatch")
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+
+	"dvicl/internal/obs"
 )
 
 // buildSimplified implements the structural-equivalence optimization of
@@ -20,7 +22,9 @@ import (
 // whole cells, i.e. removable bicliques).
 func (b *builder) buildSimplified() *Node {
 	n := b.t.g.N()
+	detectSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
 	twinsOf := b.wholeClassTwins()
+	detectSpan.End()
 	if len(twinsOf) == 0 {
 		all := make([]int, n)
 		for i := range all {
@@ -29,11 +33,14 @@ func (b *builder) buildSimplified() *Node {
 		return b.cl(b.subgraphOf(all))
 	}
 	removed := make([]bool, n)
+	var collapsed int64
 	for _, twins := range twinsOf {
+		collapsed += int64(len(twins))
 		for _, v := range twins {
 			removed[v] = true
 		}
 	}
+	b.opt.Obs.Add(obs.TwinVertsCollapsed, collapsed)
 	var kept []int
 	for v := 0; v < n; v++ {
 		if !removed[v] {
@@ -41,7 +48,9 @@ func (b *builder) buildSimplified() *Node {
 		}
 	}
 	root := b.cl(b.subgraphOf(kept))
+	expandSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
 	expanded := b.expandTwins(root, twinsOf)
+	expandSpan.End()
 	if len(expanded) == 1 {
 		return expanded[0]
 	}

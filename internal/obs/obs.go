@@ -1,0 +1,326 @@
+// Package obs is the pipeline's observability layer: a zero-dependency
+// set of atomic counters and phase timers that every stage of the system
+// (refinement, divide, combine, leaf search, SSM) reports into.
+//
+// The paper's whole evaluation is about *search effort* — tree shape,
+// leaf search nodes, pruning effectiveness (Tables 3–5, 8) — so the
+// counters here mirror the quantities nauty/Traces expose: nodes visited,
+// leaves reached, prunings fired, automorphisms found, refinement work.
+//
+// A nil *Recorder is a valid no-op recorder: every method nil-checks the
+// receiver first, so instrumented hot paths pay one predictable branch
+// when recording is disabled. Recorders are safe for concurrent use
+// (parallel AutoTree construction feeds one recorder from many workers).
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonically increasing count.
+type Counter int
+
+// The counter set, grouped by the pipeline layer that reports it.
+const (
+	// internal/coloring — equitable refinement (1-WL).
+	RefineCalls   Counter = iota // trace hashes computed (one per Refine)
+	RefineRounds                 // splitter cells processed off the worklist
+	CellSplits                   // new cell fragments created by splitting
+
+	// internal/canon — individualization–refinement search.
+	SearchNodes        // search-tree nodes visited
+	SearchLeaves       // discrete colorings (leaves) reached
+	PruneFirstPath     // P_A hits: subtree cut by the first-path invariant
+	PruneBestPath      // P_B hits: subtree cut by the best-path invariant
+	PruneOrbit         // P_C hits: candidate cut by orbit pruning
+	Automorphisms      // distinct non-identity generators discovered
+	Backjumps          // bliss-style automorphism backjumps taken
+	Truncations        // searches aborted by MaxNodes or Deadline
+
+	// internal/core — DviCL divide & combine.
+	DivideICalls       // DivideI attempts (Algorithm 2)
+	DivideSCalls       // DivideS attempts (Algorithm 3)
+	LeafSearches       // non-singleton leaves labeled by the leaf engine
+	TwinVertsCollapsed // vertices removed by twin simplification (§6.1)
+	WorkerSpawns       // subtree builds handed to a worker goroutine
+	WorkerInline       // subtree builds run inline (no free worker token)
+
+	// internal/ssm — symmetric subgraph matching.
+	SSMQueries        // Count/Enumerate/PatternKey calls answered
+	SSMLeafCandidates // candidate images generated at leaf base cases
+	SSMLeafPruned     // SM embeddings rejected by the symmetry check
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	RefineCalls:        "refine_calls",
+	RefineRounds:       "refine_rounds",
+	CellSplits:         "cell_splits",
+	SearchNodes:        "search_nodes",
+	SearchLeaves:       "search_leaves",
+	PruneFirstPath:     "prune_first_path",
+	PruneBestPath:      "prune_best_path",
+	PruneOrbit:         "prune_orbit",
+	Automorphisms:      "automorphisms",
+	Backjumps:          "backjumps",
+	Truncations:        "truncations",
+	DivideICalls:       "divide_i_calls",
+	DivideSCalls:       "divide_s_calls",
+	LeafSearches:       "leaf_searches",
+	TwinVertsCollapsed: "twin_verts_collapsed",
+	WorkerSpawns:       "worker_spawns",
+	WorkerInline:       "worker_inline",
+	SSMQueries:         "ssm_queries",
+	SSMLeafCandidates:  "ssm_leaf_candidates",
+	SSMLeafPruned:      "ssm_leaf_pruned",
+}
+
+// String returns the counter's snake_case metric name.
+func (c Counter) String() string {
+	if c >= 0 && c < numCounters {
+		return counterNames[c]
+	}
+	return "unknown_counter"
+}
+
+// Phase identifies one timed span kind of the pipeline.
+type Phase int
+
+// The phase set: one per algorithm of the paper plus whole-build and
+// whole-query spans.
+const (
+	PhaseBuild     Phase = iota // one whole DviCL Build
+	PhaseRefine                 // initial equitable refinement (Alg. 1 line 1)
+	PhaseTwins                  // twin detection + expansion (§6.1)
+	PhaseDivideI                // Algorithm 2
+	PhaseDivideS                // Algorithm 3
+	PhaseCombineCL              // Algorithm 4 (includes the leaf search)
+	PhaseCombineST              // Algorithm 5
+	PhaseSSMQuery               // one SSM count/enumerate/key query
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	PhaseBuild:     "build",
+	PhaseRefine:    "refine",
+	PhaseTwins:     "twins",
+	PhaseDivideI:   "divide_i",
+	PhaseDivideS:   "divide_s",
+	PhaseCombineCL: "combine_cl",
+	PhaseCombineST: "combine_st",
+	PhaseSSMQuery:  "ssm_query",
+}
+
+// String returns the phase's snake_case metric name.
+func (p Phase) String() string {
+	if p >= 0 && p < numPhases {
+		return phaseNames[p]
+	}
+	return "unknown_phase"
+}
+
+// timerBuckets is the number of power-of-two latency buckets: bucket i
+// counts durations d with bits.Len64(ns) == i, i.e. 2^(i-1) ≤ ns < 2^i.
+const timerBuckets = 64
+
+// timer aggregates observations of one phase: count, total, min, max and
+// a log2 histogram. All fields are updated atomically.
+type timer struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	minNs   atomic.Int64 // valid iff count > 0
+	maxNs   atomic.Int64
+	buckets [timerBuckets]atomic.Int64
+}
+
+func (t *timer) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.sumNs.Add(ns)
+	for {
+		cur := t.minNs.Load()
+		if cur != 0 && cur <= ns {
+			break
+		}
+		// 0 doubles as "unset"; a true 0ns observation stores 1 below via
+		// the bucket index anyway, so clamp stored min to ≥1.
+		stored := ns
+		if stored == 0 {
+			stored = 1
+		}
+		if t.minNs.CompareAndSwap(cur, stored) {
+			break
+		}
+	}
+	for {
+		cur := t.maxNs.Load()
+		if cur >= ns {
+			break
+		}
+		if t.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	t.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Recorder collects counters and phase timers. The zero value is ready to
+// use; so is a nil pointer (every method no-ops on a nil receiver).
+type Recorder struct {
+	counters [numCounters]atomic.Int64
+	timers   [numPhases]timer
+}
+
+// New returns an empty enabled Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Inc adds 1 to the counter.
+func (r *Recorder) Inc(c Counter) {
+	if r == nil {
+		return
+	}
+	r.counters[c].Add(1)
+}
+
+// Add adds delta to the counter.
+func (r *Recorder) Add(c Counter, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.counters[c].Add(delta)
+}
+
+// Counter returns the counter's current value (0 on a nil Recorder).
+func (r *Recorder) Counter(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[c].Load()
+}
+
+// ObservePhase records one completed span of the phase.
+func (r *Recorder) ObservePhase(p Phase, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.timers[p].observe(int64(d))
+}
+
+// Span is an in-flight phase timing started by StartPhase. The zero Span
+// (and any Span from a nil Recorder) is a no-op.
+type Span struct {
+	r     *Recorder
+	phase Phase
+	start time.Time
+}
+
+// StartPhase begins timing a span of phase p. On a nil Recorder it
+// returns a no-op Span without reading the clock.
+func (r *Recorder) StartPhase(p Phase) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, phase: p, start: time.Now()}
+}
+
+// End finishes the span and records its duration.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.timers[s.phase].observe(int64(time.Since(s.start)))
+}
+
+// Reset zeroes every counter and timer.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.counters {
+		r.counters[i].Store(0)
+	}
+	for i := range r.timers {
+		t := &r.timers[i]
+		t.count.Store(0)
+		t.sumNs.Store(0)
+		t.minNs.Store(0)
+		t.maxNs.Store(0)
+		for j := range t.buckets {
+			t.buckets[j].Store(0)
+		}
+	}
+}
+
+// Bucket is one non-empty log2 latency bucket of a phase histogram:
+// Count observations fell in [UpperNs/2, UpperNs).
+type Bucket struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// PhaseStats is the snapshot of one phase timer.
+type PhaseStats struct {
+	Count   int64    `json:"count"`
+	TotalNs int64    `json:"total_ns"`
+	MinNs   int64    `json:"min_ns"`
+	MaxNs   int64    `json:"max_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Recorder, JSON-serializable and
+// directly comparable between runs (the "diff counters, not vibes" unit).
+// Counters holds every counter by name, including zeros, so two snapshots
+// always have identical key sets; Phases holds only phases that fired.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters"`
+	Phases   map[string]PhaseStats `json:"phases"`
+}
+
+// Snapshot copies the current state. Safe to call while other goroutines
+// record (each field is read atomically; the snapshot is not a single
+// consistent cut, which is fine for monitoring).
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64, numCounters),
+		Phases:   make(map[string]PhaseStats),
+	}
+	if r == nil {
+		for c := Counter(0); c < numCounters; c++ {
+			s.Counters[c.String()] = 0
+		}
+		return s
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		s.Counters[c.String()] = r.counters[c].Load()
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		t := &r.timers[p]
+		n := t.count.Load()
+		if n == 0 {
+			continue
+		}
+		ps := PhaseStats{
+			Count:   n,
+			TotalNs: t.sumNs.Load(),
+			MinNs:   t.minNs.Load(),
+			MaxNs:   t.maxNs.Load(),
+		}
+		for i := range t.buckets {
+			if c := t.buckets[i].Load(); c > 0 {
+				upper := int64(1) << i
+				if i == 0 {
+					upper = 1
+				}
+				ps.Buckets = append(ps.Buckets, Bucket{UpperNs: upper, Count: c})
+			}
+		}
+		s.Phases[p.String()] = ps
+	}
+	return s
+}

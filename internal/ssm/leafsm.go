@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dvicl/internal/core"
+	"dvicl/internal/obs"
 )
 
 // leafOrbitSM is the paper-faithful variant of the non-singleton-leaf
@@ -43,6 +44,7 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 	key := ix.leafPatternCert(nd, pattern)
 	seen := map[string]bool{}
 	var out [][]int
+	var candidates, pruned int64
 	for _, emb := range m.FindInduced(q, qColors, 0) {
 		set := CanonicalSet(emb)
 		k := intsKey(set)
@@ -50,6 +52,7 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 			continue
 		}
 		seen[k] = true
+		candidates++
 		// Symmetry verification: a match is an answer iff it lies in the
 		// pattern's orbit under Aut(leaf, πg) — certificate equality (the
 		// paper's Lemma 6.7 argument).
@@ -58,6 +61,7 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 			global[i] = nd.Verts[l]
 		}
 		if !bytesEqual(ix.leafPatternCert(nd, global), key) {
+			pruned++
 			continue
 		}
 		out = append(out, global)
@@ -65,6 +69,8 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 			break
 		}
 	}
+	ix.rec.Add(obs.SSMLeafCandidates, candidates)
+	ix.rec.Add(obs.SSMLeafPruned, pruned)
 	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
 	return out
 }
@@ -81,6 +87,9 @@ func intsKey(xs []int) string {
 // instead of generator-orbit BFS — provided for fidelity to Algorithm 6
 // and for cross-validation; results are identical.
 func (ix *Index) EnumerateSM(s []int, limit int) [][]int {
+	ix.rec.Inc(obs.SSMQueries)
+	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
+	defer span.End()
 	pattern := sortedCopy(s)
 	ix.useSM = true
 	defer func() { ix.useSM = false }()

@@ -10,6 +10,7 @@ import (
 	"dvicl/internal/canon"
 	"dvicl/internal/coloring"
 	"dvicl/internal/core"
+	"dvicl/internal/obs"
 	"dvicl/internal/perm"
 )
 
@@ -29,7 +30,15 @@ type Index struct {
 	// useSM switches the non-singleton-leaf base case to the paper's
 	// SM-based matching (see leafsm.go).
 	useSM bool
+	// rec, when non-nil, receives query counts, per-query wall time and
+	// the leaf candidate/pruned counters.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder: every subsequent query
+// reports obs.SSMQueries, an obs.PhaseSSMQuery span, and the
+// obs.SSMLeafCandidates / obs.SSMLeafPruned counters. Pass nil to detach.
+func (ix *Index) SetRecorder(r *obs.Recorder) { ix.rec = r }
 
 // nodeInfo caches per-node lookup structures: queries over graphs with
 // hundreds of thousands of root children must not rescan the child list.
@@ -107,6 +116,9 @@ func (ix *Index) Tree() *core.Tree { return ix.tree }
 // counterparts of S, including S itself. This is the quantity reported in
 // Table 6 of the paper (candidate seed sets with the same influence).
 func (ix *Index) CountImages(s []int) *big.Int {
+	ix.rec.Inc(obs.SSMQueries)
+	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
+	defer span.End()
 	pattern := sortedCopy(s)
 	return ix.countNode(ix.tree.Root, pattern)
 }
@@ -115,6 +127,9 @@ func (ix *Index) CountImages(s []int) *big.Int {
 // bounds the number of images (0 = all; beware, counts can be
 // astronomically large — use CountImages first).
 func (ix *Index) Enumerate(s []int, limit int) [][]int {
+	ix.rec.Inc(obs.SSMQueries)
+	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
+	defer span.End()
 	pattern := sortedCopy(s)
 	return ix.enumNode(ix.tree.Root, pattern, limit)
 }
@@ -123,6 +138,9 @@ func (ix *Index) Enumerate(s []int, limit int) [][]int {
 // under Aut(G, π): two sets receive the same key iff they are symmetric.
 // Grouping subgraphs by key is the subgraph clustering of Table 7.
 func (ix *Index) PatternKey(s []int) string {
+	ix.rec.Inc(obs.SSMQueries)
+	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
+	defer span.End()
 	pattern := sortedCopy(s)
 	return string(ix.keyNode(ix.tree.Root, pattern))
 }
@@ -387,6 +405,7 @@ func (ix *Index) leafOrbit(nd *core.Node, pattern []int, limit int) [][]int {
 			}
 		}
 	}
+	ix.rec.Add(obs.SSMLeafCandidates, int64(len(seen)))
 	out := make([][]int, 0, len(seen))
 	for _, loc := range seen {
 		glob := make([]int, len(loc))
