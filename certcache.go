@@ -1,0 +1,76 @@
+package dvicl
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// certCache is a bounded LRU map from a labeled-graph hash (graph.Hash,
+// exact identity — NOT isomorphism-invariant) to the graph's canonical
+// certificate. Repeated Adds/Lookups of the same labeled graph skip the
+// DviCL build entirely; a relabeled copy misses and is computed normally.
+// Safe for concurrent use.
+type certCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[[32]byte]*list.Element
+	order *list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type certEntry struct {
+	key  [32]byte
+	cert string
+}
+
+func newCertCache(capacity int) *certCache {
+	return &certCache{
+		cap:   capacity,
+		items: make(map[[32]byte]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns the cached certificate for key, promoting it to most
+// recently used. The hit/miss tallies feed IndexStats and the obs
+// counters.
+func (c *certCache) get(key [32]byte) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return "", false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*certEntry).cert, true
+}
+
+// put inserts (or refreshes) key→cert, evicting the least recently used
+// entry when over capacity.
+func (c *certCache) put(key [32]byte, cert string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*certEntry).cert = cert
+		return
+	}
+	c.items[key] = c.order.PushFront(&certEntry{key: key, cert: cert})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*certEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *certCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

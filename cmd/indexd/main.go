@@ -1,0 +1,150 @@
+// Command indexd serves a persistent canonical-certificate graph index
+// over HTTP — the paper's database-indexing application (introduction,
+// (a)) as a long-lived daemon: two graphs are isomorphic iff their DviCL
+// certificates match, so deduplication and isomorphism lookup are map
+// operations against the index.
+//
+// Usage:
+//
+//	indexd [-addr :7171] [-data dir] [-sync] [-cache n] [-compact-every n]
+//	       [-max-inflight n] [-max-verts n] [-timeout d] [-workers n]
+//	       [-metrics-json out.json] [-debug-addr :6060]
+//
+// Endpoints (JSON; see docs/OPERATIONS.md for curl examples):
+//
+//	POST /add      {"n":4,"edges":[[0,1],...]} or {"graph6":"..."}
+//	               → {"id":0,"duplicate":false}
+//	POST /lookup   same body → {"ids":[0,3]}
+//	POST /batch    {"ops":[{"op":"add","n":...,"edges":...},...]}
+//	POST /flush    force a snapshot compaction → index stats
+//	GET  /stats    index + cache + counter statistics
+//	GET  /healthz  liveness ("ok", 200)
+//
+// With -data the index is durable: every Add is write-through logged to a
+// WAL and periodically compacted into a snapshot; restart (even kill -9)
+// reloads the same ids. Without -data the index is in-memory only.
+//
+// -max-inflight bounds concurrent graph-processing requests (excess
+// requests get 503 + Retry-After backpressure), -timeout bounds each
+// request end to end, and SIGINT/SIGTERM trigger a graceful shutdown that
+// drains connections and writes a final snapshot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dvicl"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "HTTP listen address")
+	data := flag.String("data", "", "index directory (empty = in-memory, no persistence)")
+	sync := flag.Bool("sync", false, "fsync the WAL on every add (durable to power loss)")
+	cache := flag.Int("cache", 0, "certificate LRU cache entries (0 = default 4096, negative = off)")
+	compactEvery := flag.Int("compact-every", 0, "snapshot after this many WAL appends (0 = default 8192, negative = only on /flush and shutdown)")
+	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrent graph-processing requests before 503 backpressure")
+	maxVerts := flag.Int("max-verts", 1<<20, "reject graphs with more vertices than this")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	workers := flag.Int("workers", 0, "parallel subtree builders per certificate build (0 = sequential)")
+	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file on shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
+	flag.Parse()
+
+	rec := dvicl.NewMetricsRecorder()
+	opt := dvicl.IndexOptions{
+		DviCL:        dvicl.Options{Workers: *workers, Obs: rec},
+		CacheSize:    *cache,
+		SyncWrites:   *sync,
+		CompactEvery: *compactEvery,
+	}
+
+	var ix *dvicl.GraphIndex
+	if *data != "" {
+		var err error
+		ix, err = dvicl.OpenGraphIndex(*data, opt)
+		if err != nil {
+			log.Fatalf("indexd: open %s: %v", *data, err)
+		}
+		st := ix.Stats()
+		log.Printf("indexd: loaded %d graphs (%d classes) from %s: snapshot=%d wal=%d torn-bytes=%d",
+			st.Graphs, st.Classes, *data, st.SnapshotCerts, st.ReplayedRecords, st.RecoveredBytes)
+	} else {
+		ix = dvicl.NewGraphIndex(opt.DviCL)
+		log.Printf("indexd: in-memory index (no -data directory; adds will not survive restart)")
+	}
+
+	if *debugAddr != "" {
+		dbg, err := dvicl.ServeDebug(*debugAddr, rec)
+		if err != nil {
+			log.Fatalf("indexd: debug server: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("indexd: debug server on http://%s/debug/pprof/", dbg.Addr)
+	}
+
+	srv := newServer(ix, rec, *maxInflight, *maxVerts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("indexd: listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{
+		Handler: srv.handler(*timeout),
+		// The TimeoutHandler bounds handler time; these bound slow clients.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout + 10*time.Second,
+		WriteTimeout:      *timeout + 10*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("indexd: serving on http://%s (max-inflight=%d timeout=%v)", ln.Addr(), *maxInflight, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("indexd: shutdown signal received, draining...")
+	case err := <-errCh:
+		log.Fatalf("indexd: serve: %v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("indexd: shutdown: %v", err)
+	}
+	if err := ix.Close(); err != nil && !errors.Is(err, dvicl.ErrIndexClosed) {
+		log.Printf("indexd: index close: %v", err)
+	}
+	writeMetrics(*metricsJSON, rec)
+	log.Printf("indexd: bye")
+}
+
+func writeMetrics(path string, rec *dvicl.MetricsRecorder) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("indexd: metrics: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.Snapshot().WriteJSON(f); err != nil {
+		log.Printf("indexd: metrics: %v", err)
+		return
+	}
+	fmt.Printf("metrics written to %s\n", path)
+}

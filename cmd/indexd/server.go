@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dvicl"
+	"dvicl/internal/obs"
+)
+
+// Request/response bodies. A graph arrives either as an explicit edge
+// list ({"n": 4, "edges": [[0,1],[1,2]]}) or as a graph6 string
+// ({"graph6": "Cr"}); graph6 wins when both are present.
+type graphReq struct {
+	N      int      `json:"n"`
+	Edges  [][2]int `json:"edges"`
+	Graph6 string   `json:"graph6"`
+}
+
+type addResp struct {
+	ID        int  `json:"id"`
+	Duplicate bool `json:"duplicate"`
+}
+
+type lookupResp struct {
+	IDs []int `json:"ids"`
+}
+
+type batchOp struct {
+	Op string `json:"op"` // "add" or "lookup"
+	graphReq
+}
+
+type batchReq struct {
+	Ops []batchOp `json:"ops"`
+}
+
+type batchResult struct {
+	ID        *int   `json:"id,omitempty"`
+	Duplicate *bool  `json:"duplicate,omitempty"`
+	IDs       []int  `json:"ids,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+type batchResp struct {
+	Results []batchResult `json:"results"`
+}
+
+type errResp struct {
+	Error string `json:"error"`
+}
+
+type statsResp struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Index         dvicl.IndexStats `json:"index"`
+	Counters      map[string]int64 `json:"counters"`
+}
+
+// Request-size guardrails: bodies and batch fan-out are bounded so one
+// request cannot exhaust the process.
+const (
+	maxBodyBytes = 32 << 20
+	maxBatchOps  = 1024
+)
+
+// server holds the daemon's state: the index, the recorder, and the
+// admission control for the graph-processing endpoints.
+type server struct {
+	ix       *dvicl.GraphIndex
+	rec      *dvicl.MetricsRecorder // alias of *obs.Recorder
+	sem      chan struct{}          // admission tokens for expensive endpoints
+	maxVerts int
+	start    time.Time
+}
+
+func newServer(ix *dvicl.GraphIndex, rec *dvicl.MetricsRecorder, maxInflight, maxVerts int) *server {
+	return &server{
+		ix:       ix,
+		rec:      rec,
+		sem:      make(chan struct{}, maxInflight),
+		maxVerts: maxVerts,
+		start:    time.Now(),
+	}
+}
+
+// handler assembles the full route table. timeout bounds each request end
+// to end (http.TimeoutHandler replies 503 when exceeded).
+func (s *server) handler(timeout time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /add", s.limited(s.handleAdd))
+	mux.HandleFunc("POST /lookup", s.limited(s.handleLookup))
+	mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
+	mux.HandleFunc("POST /flush", s.limited(s.handleFlush))
+	mux.HandleFunc("GET /stats", s.instrumented(s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrumented(s.handleHealthz))
+	body := `{"error":"request timed out"}` + "\n"
+	return http.TimeoutHandler(mux, timeout, body)
+}
+
+// instrumented counts the request, times it, and tracks error statuses.
+func (s *server) instrumented(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.rec.Inc(obs.HTTPRequests)
+		span := s.rec.StartPhase(obs.PhaseHTTP)
+		defer span.End()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		if sw.status >= 400 {
+			s.rec.Inc(obs.HTTPErrors)
+		}
+	}
+}
+
+// limited is instrumented plus admission control: when all tokens are
+// taken the request is rejected immediately with 503 + Retry-After —
+// backpressure, not an unbounded queue.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rec.Inc(obs.HTTPThrottled)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errResp{Error: "server at capacity"})
+			return
+		}
+		h(w, r)
+	})
+}
+
+// statusWriter records the status code for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeGraph validates and materializes the graph of a request body.
+func (s *server) decodeGraph(req *graphReq) (*dvicl.Graph, error) {
+	if req.Graph6 != "" {
+		g, err := dvicl.FromGraph6(req.Graph6)
+		if err != nil {
+			return nil, fmt.Errorf("graph6: %w", err)
+		}
+		if g.N() > s.maxVerts {
+			return nil, fmt.Errorf("graph has %d vertices, limit %d", g.N(), s.maxVerts)
+		}
+		return g, nil
+	}
+	if req.N < 0 || req.N > s.maxVerts {
+		return nil, fmt.Errorf("n=%d out of range [0,%d]", req.N, s.maxVerts)
+	}
+	for _, e := range req.Edges {
+		if e[0] < 0 || e[0] >= req.N || e[1] < 0 || e[1] >= req.N {
+			return nil, fmt.Errorf("edge [%d,%d] out of range [0,%d)", e[0], e[1], req.N)
+		}
+	}
+	return dvicl.FromEdges(req.N, req.Edges), nil
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req graphReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, err := s.decodeGraph(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		return
+	}
+	id, dup, err := s.ix.Add(g)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, dvicl.ErrIndexClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errResp{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, addResp{ID: id, Duplicate: dup})
+}
+
+func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	var req graphReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, err := s.decodeGraph(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		return
+	}
+	ids := s.ix.Lookup(g)
+	if ids == nil {
+		ids = []int{}
+	}
+	writeJSON(w, http.StatusOK, lookupResp{IDs: ids})
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		writeJSON(w, http.StatusBadRequest,
+			errResp{Error: fmt.Sprintf("batch of %d ops exceeds limit %d", len(req.Ops), maxBatchOps)})
+		return
+	}
+	resp := batchResp{Results: make([]batchResult, len(req.Ops))}
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		res := &resp.Results[i]
+		g, err := s.decodeGraph(&op.graphReq)
+		if err != nil {
+			res.Error = err.Error()
+			continue
+		}
+		switch op.Op {
+		case "add":
+			id, dup, err := s.ix.Add(g)
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			res.ID, res.Duplicate = &id, &dup
+		case "lookup":
+			ids := s.ix.Lookup(g)
+			if ids == nil {
+				ids = []int{}
+			}
+			res.IDs = ids
+		default:
+			res.Error = fmt.Sprintf("unknown op %q (want add or lookup)", op.Op)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.ix.Flush(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errResp{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ix.Stats())
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResp{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Index:         s.ix.Stats(),
+		Counters:      s.rec.Snapshot().Counters,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dvicl"
+)
+
+func newTestServer(t *testing.T, dir string) (*httptest.Server, *dvicl.GraphIndex) {
+	t.Helper()
+	rec := dvicl.NewMetricsRecorder()
+	var ix *dvicl.GraphIndex
+	if dir == "" {
+		ix = dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
+	} else {
+		var err error
+		ix, err = dvicl.OpenGraphIndex(dir, dvicl.IndexOptions{DviCL: dvicl.Options{Obs: rec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := newServer(ix, rec, 8, 1<<20)
+	ts := httptest.NewServer(srv.handler(10 * time.Second))
+	t.Cleanup(ts.Close)
+	return ts, ix
+}
+
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+const c4Body = `{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`
+
+// c4 relabeled: still a 4-cycle, different labeling.
+const c4RelabeledBody = `{"n":4,"edges":[[0,2],[2,1],[1,3],[3,0]]}`
+const p4Body = `{"n":4,"edges":[[0,1],[1,2],[2,3]]}`
+
+func TestAddLookupEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+
+	var add addResp
+	if code := postJSON(t, ts.URL+"/add", c4Body, &add); code != 200 {
+		t.Fatalf("/add status %d", code)
+	}
+	if add.ID != 0 || add.Duplicate {
+		t.Fatalf("/add = %+v", add)
+	}
+	if postJSON(t, ts.URL+"/add", c4RelabeledBody, &add); !add.Duplicate {
+		t.Fatalf("relabeled C4 not flagged duplicate: %+v", add)
+	}
+	if postJSON(t, ts.URL+"/add", p4Body, &add); add.Duplicate {
+		t.Fatalf("P4 flagged duplicate: %+v", add)
+	}
+
+	var lk lookupResp
+	if code := postJSON(t, ts.URL+"/lookup", c4Body, &lk); code != 200 {
+		t.Fatalf("/lookup status %d", code)
+	}
+	if len(lk.IDs) != 2 || lk.IDs[0] != 0 || lk.IDs[1] != 1 {
+		t.Fatalf("/lookup ids = %v", lk.IDs)
+	}
+	// Absent class: empty ids array, not null.
+	var raw map[string]json.RawMessage
+	postJSON(t, ts.URL+"/lookup", `{"n":3,"edges":[[0,1],[1,2],[0,2]]}`, &raw)
+	if string(raw["ids"]) != "[]" {
+		t.Fatalf(`absent lookup ids = %s, want []`, raw["ids"])
+	}
+}
+
+func TestGraph6Body(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	g := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	g6, err := dvicl.ToGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var add addResp
+	body, _ := json.Marshal(map[string]string{"graph6": g6})
+	if code := postJSON(t, ts.URL+"/add", string(body), &add); code != 200 {
+		t.Fatalf("/add graph6 status %d", code)
+	}
+	var lk lookupResp
+	postJSON(t, ts.URL+"/lookup", c4Body, &lk)
+	if len(lk.IDs) != 1 {
+		t.Fatalf("edge-list lookup of graph6 add = %v", lk.IDs)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	body := fmt.Sprintf(`{"ops":[
+		{"op":"add","n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]},
+		{"op":"add","n":4,"edges":[[0,1],[1,2],[2,3]]},
+		{"op":"lookup","n":4,"edges":[[0,2],[2,1],[1,3],[3,0]]},
+		{"op":"frobnicate","n":1,"edges":[]},
+		{"op":"add","n":2,"edges":[[0,5]]}
+	]}`)
+	var resp batchResp
+	if code := postJSON(t, ts.URL+"/batch", body, &resp); code != 200 {
+		t.Fatalf("/batch status %d", code)
+	}
+	r := resp.Results
+	if len(r) != 5 {
+		t.Fatalf("results = %+v", r)
+	}
+	if r[0].ID == nil || *r[0].ID != 0 || r[1].ID == nil || *r[1].ID != 1 {
+		t.Fatalf("batch adds = %+v %+v", r[0], r[1])
+	}
+	if len(r[2].IDs) != 1 || r[2].IDs[0] != 0 {
+		t.Fatalf("batch lookup = %+v", r[2])
+	}
+	if r[3].Error == "" || r[4].Error == "" {
+		t.Fatalf("batch errors = %+v %+v", r[3], r[4])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	for _, body := range []string{
+		`{"n":-1,"edges":[]}`,
+		`{"n":2,"edges":[[0,7]]}`,
+		`{"n":2,"edges":[[0,1]],"bogus":true}`,
+		`not json`,
+		`{"graph6":"bad"}`,
+	} {
+		var e errResp
+		if code := postJSON(t, ts.URL+"/add", body, &e); code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d (want 400), err %q", body, code, e.Error)
+		}
+		if e.Error == "" {
+			t.Fatalf("body %q: no error message", body)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /add status %d", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, t.TempDir())
+	postJSON(t, ts.URL+"/add", c4Body, nil)
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/lookup", c4Body, nil)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+
+	var st statsResp
+	r2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Graphs != 1 || !st.Index.Persistent {
+		t.Fatalf("stats index = %+v", st.Index)
+	}
+	// The repeated identical Lookups hit the certificate cache, and the
+	// hits show up both in index stats and the counter map.
+	if st.Index.CacheHits != 5 {
+		t.Fatalf("cache hits = %d, want 5", st.Index.CacheHits)
+	}
+	if st.Counters["cert_cache_hits"] != 5 || st.Counters["index_lookups"] != 5 || st.Counters["index_adds"] != 1 {
+		t.Fatalf("counters = %v", st.Counters)
+	}
+	if st.Counters["http_requests"] < 6 {
+		t.Fatalf("http_requests = %d", st.Counters["http_requests"])
+	}
+}
+
+func TestFlushEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTestServer(t, dir)
+	postJSON(t, ts.URL+"/add", c4Body, nil)
+	var st dvicl.IndexStats
+	if code := postJSON(t, ts.URL+"/flush", ``, &st); code != 200 {
+		t.Fatalf("/flush status %d", code)
+	}
+	if st.WALRecords != 0 {
+		t.Fatalf("WAL not compacted by /flush: %+v", st)
+	}
+}
+
+// TestBackpressure drives more concurrent requests than the admission
+// limit and expects at least one 503 with Retry-After.
+func TestBackpressure(t *testing.T) {
+	rec := dvicl.NewMetricsRecorder()
+	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
+	srv := newServer(ix, rec, 1, 1<<20)
+
+	// Hold the only token.
+	release := make(chan struct{})
+	blocked := srv.limited(func(w http.ResponseWriter, r *http.Request) { <-release })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest("POST", "/add", nil)
+		blocked(httptest.NewRecorder(), req)
+	}()
+	// Wait for the token to be taken.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.sem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the token")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w := httptest.NewRecorder()
+	srv.limited(func(http.ResponseWriter, *http.Request) {
+		t.Error("second request should have been rejected")
+	})(w, httptest.NewRequest("POST", "/add", bytes.NewReader([]byte(c4Body))))
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("throttled response: code=%d headers=%v", w.Code, w.Header())
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestServerPersistenceAcrossRestart: the acceptance scenario — add a
+// batch, kill the server without Close, restart on the same directory,
+// and the same Lookup batch returns identical ids.
+func TestServerPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTestServer(t, dir)
+	bodies := []string{c4Body, p4Body, c4RelabeledBody}
+	var ids []addResp
+	for _, b := range bodies {
+		var a addResp
+		postJSON(t, ts.URL+"/add", b, &a)
+		ids = append(ids, a)
+	}
+	var before []lookupResp
+	for _, b := range bodies {
+		var lk lookupResp
+		postJSON(t, ts.URL+"/lookup", b, &lk)
+		before = append(before, lk)
+	}
+	ts.Close() // kill the HTTP layer; the index is never Closed ("kill -9")
+
+	ts2, _ := newTestServer(t, dir)
+	for i, b := range bodies {
+		var lk lookupResp
+		postJSON(t, ts2.URL+"/lookup", b, &lk)
+		if fmt.Sprint(lk.IDs) != fmt.Sprint(before[i].IDs) {
+			t.Fatalf("lookup %d after restart: %v != %v", i, lk.IDs, before[i].IDs)
+		}
+	}
+}

@@ -14,10 +14,16 @@
 //	fmt.Println(tree.Stats())          // AutoTree shape
 //	same := dvicl.Isomorphic(g, h)     // canonical-certificate equality
 //
+// For the paper's database-indexing application, GraphIndex maps
+// certificates to graph ids: NewGraphIndex is in-memory, OpenGraphIndex
+// is durable (write-ahead log + snapshots, crash-safe), and cmd/indexd
+// serves either over HTTP. See docs/ARCHITECTURE.md for the package map
+// and docs/OPERATIONS.md for operating the daemon.
+//
 // The package is a facade: the implementation lives in internal/ packages
-// (core, canon, coloring, graph, group, ssm, im, clique, gen, gf, perm),
-// re-exported here through type aliases so the whole system is usable from
-// a single import.
+// (core, canon, coloring, graph, group, ssm, im, clique, gen, gf, perm,
+// obs, store), re-exported here through type aliases so the whole system
+// is usable from a single import.
 package dvicl
 
 import (

@@ -165,17 +165,17 @@ func TestGraphIndex(t *testing.T) {
 	ix := NewGraphIndex(Options{})
 	c4 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
 	p4 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
-	id0, dup := ix.Add(c4)
-	if id0 != 0 || dup {
-		t.Fatalf("first add: id=%d dup=%v", id0, dup)
+	id0, dup, err := ix.Add(c4)
+	if id0 != 0 || dup || err != nil {
+		t.Fatalf("first add: id=%d dup=%v err=%v", id0, dup, err)
 	}
-	_, dup = ix.Add(c4.Permute([]int{2, 0, 3, 1}))
-	if !dup {
-		t.Fatal("relabeled duplicate not detected")
+	_, dup, err = ix.Add(c4.Permute([]int{2, 0, 3, 1}))
+	if !dup || err != nil {
+		t.Fatalf("relabeled duplicate not detected (err=%v)", err)
 	}
-	_, dup = ix.Add(p4)
-	if dup {
-		t.Fatal("distinct graph flagged duplicate")
+	_, dup, err = ix.Add(p4)
+	if dup || err != nil {
+		t.Fatalf("distinct graph flagged duplicate (err=%v)", err)
 	}
 	if ix.Len() != 3 || ix.Classes() != 2 {
 		t.Fatalf("len=%d classes=%d, want 3/2", ix.Len(), ix.Classes())

@@ -55,6 +55,33 @@ func ExampleSSMIndex_CountImages() {
 	// 15
 }
 
+// ExampleGraphIndex demonstrates certificate-based graph indexing — the
+// paper's database application: every graph gets a certificate such that
+// two graphs are isomorphic iff the certificates are equal, so duplicate
+// detection and isomorphism lookup are map operations. (For a durable
+// index that survives restarts, see OpenGraphIndex and cmd/indexd.)
+func ExampleGraphIndex() {
+	ix := dvicl.NewGraphIndex(dvicl.Options{})
+	c4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	p4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+
+	id, dup, _ := ix.Add(c4)
+	fmt.Println(id, dup)
+	id, dup, _ = ix.Add(c4.Permute([]int{2, 0, 3, 1})) // a relabeled C4
+	fmt.Println(id, dup)
+	id, dup, _ = ix.Add(p4)
+	fmt.Println(id, dup)
+
+	fmt.Println(ix.Lookup(c4))          // both C4 copies
+	fmt.Println(ix.Len(), ix.Classes()) // 3 graphs, 2 classes
+	// Output:
+	// 0 false
+	// 1 true
+	// 2 false
+	// [0 1]
+	// 3 2
+}
+
 // ExampleAutomorphismGroup extracts generators and verifies one.
 func ExampleAutomorphismGroup() {
 	p4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})

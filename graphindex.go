@@ -1,50 +1,202 @@
 package dvicl
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
+
+	"dvicl/internal/obs"
+	"dvicl/internal/store"
 )
+
+// ErrIndexClosed is returned by operations on a GraphIndex after Close.
+var ErrIndexClosed = errors.New("dvicl: graph index closed")
+
+// Defaults for IndexOptions zero values.
+const (
+	defaultCacheSize    = 4096
+	defaultCompactEvery = 8192
+)
+
+// IndexOptions configures a persistent GraphIndex opened with
+// OpenGraphIndex.
+type IndexOptions struct {
+	// DviCL configures the underlying certificate builds (zero value is
+	// fine). Attach an observability recorder via DviCL.Obs to get the
+	// index_*, cert_cache_*, wal_* and snapshot counters.
+	DviCL Options
+	// CacheSize bounds the LRU certificate cache (entries). 0 means the
+	// default (4096); negative disables caching.
+	CacheSize int
+	// SyncWrites fsyncs the WAL on every Add. Off, an acknowledged Add
+	// survives process crash (kill -9) but not necessarily power loss.
+	SyncWrites bool
+	// CompactEvery triggers a background snapshot compaction after this
+	// many WAL appends. 0 means the default (8192); negative disables
+	// automatic compaction (Flush still compacts on demand).
+	CompactEvery int
+}
 
 // GraphIndex is a canonical-certificate index over a collection of graphs
 // — the paper's database-indexing application (introduction, (a)): every
 // graph receives a certificate such that two graphs are isomorphic iff
 // they share it, so duplicate detection and isomorphism lookup become
-// map operations. Safe for concurrent use.
+// map operations.
+//
+// An index is either ephemeral (NewGraphIndex) or durable
+// (OpenGraphIndex): the durable form write-through-logs every Add to a
+// WAL and periodically compacts it into a snapshot (see internal/store
+// for the on-disk contract), so a restart — even after kill -9 — reloads
+// the same id assignment.
+//
+// # Concurrency
+//
+// GraphIndex is safe for concurrent use. The contract, relied on by the
+// indexd daemon:
+//
+//   - Certificate computation (the expensive DviCL build) runs *outside*
+//     any index lock: CanonicalCert is a pure function of the graph, so
+//     concurrent Adds and Lookups never serialize on it.
+//   - The internal mutex guards only the id/class maps and the WAL
+//     append, keeping the critical section O(1)-ish per operation and
+//     making WAL order always match id order.
+//   - Lookup takes only a read lock and may run concurrently with other
+//     Lookups; a Lookup racing an Add of an isomorphic graph may or may
+//     not see the new id, exactly like a map read racing a map write
+//     under an RWMutex.
+//   - Background compaction briefly takes the write lock to cut a
+//     consistent snapshot; Adds stall for the file write (bounded by
+//     index size), never deadlock.
 type GraphIndex struct {
 	mu      sync.RWMutex
 	classes map[string][]int // certificate -> ids, insertion order
 	certs   []string         // id -> certificate
-	opt     Options
+	closed  bool
+
+	opt   Options
+	cache *certCache // nil when disabled
+
+	// Persistence (nil st for an ephemeral index).
+	st           *store.Store
+	compactEvery int
+	compacting   atomic.Bool
+	bg           sync.WaitGroup
+
+	// Open-time recovery facts, surfaced in Stats.
+	snapshotCerts  int
+	replayedAtOpen int
+	recoveredBytes int64
 }
 
-// NewGraphIndex returns an empty index. opt configures the underlying
-// DviCL runs (zero value is fine).
+// NewGraphIndex returns an empty ephemeral (in-memory) index. opt
+// configures the underlying DviCL runs (zero value is fine). The
+// certificate cache is enabled at its default size.
 func NewGraphIndex(opt Options) *GraphIndex {
-	return &GraphIndex{classes: make(map[string][]int), opt: opt}
+	return &GraphIndex{
+		classes: make(map[string][]int),
+		opt:     opt,
+		cache:   newCertCache(defaultCacheSize),
+	}
+}
+
+// OpenGraphIndex opens (creating if needed) a durable index rooted at
+// dir, replaying the snapshot and WAL found there. See IndexOptions for
+// the knobs and Stats for what was recovered. The caller must Close the
+// index to release the WAL and write a final snapshot.
+func OpenGraphIndex(dir string, opt IndexOptions) (*GraphIndex, error) {
+	st, res, err := store.Open(dir, store.Options{Sync: opt.SyncWrites})
+	if err != nil {
+		return nil, err
+	}
+	ix := &GraphIndex{
+		classes:        make(map[string][]int, len(res.Certs)),
+		certs:          res.Certs,
+		opt:            opt.DviCL,
+		st:             st,
+		compactEvery:   opt.CompactEvery,
+		snapshotCerts:  res.SnapshotCerts,
+		replayedAtOpen: res.WALReplayed,
+		recoveredBytes: res.TornBytes,
+	}
+	if ix.compactEvery == 0 {
+		ix.compactEvery = defaultCompactEvery
+	}
+	switch {
+	case opt.CacheSize > 0:
+		ix.cache = newCertCache(opt.CacheSize)
+	case opt.CacheSize == 0:
+		ix.cache = newCertCache(defaultCacheSize)
+	}
+	for id, cert := range ix.certs {
+		ix.classes[cert] = append(ix.classes[cert], id)
+	}
+	ix.opt.Obs.Add(obs.WALReplayed, int64(res.WALReplayed))
+	return ix, nil
 }
 
 // Add inserts a graph and returns its id and whether an isomorphic graph
-// was already present.
-func (ix *GraphIndex) Add(g *Graph) (id int, duplicate bool) {
-	cert := ix.certOf(g)
+// was already present. On a durable index the Add is acknowledged only
+// after its WAL record is written (and fsynced under SyncWrites); the
+// error is non-nil exactly when the record could not be persisted, in
+// which case the in-memory index is unchanged.
+func (ix *GraphIndex) Add(g *Graph) (id int, duplicate bool, err error) {
+	rec := ix.opt.Obs
+	rec.Inc(obs.IndexAdds)
+	span := rec.StartPhase(obs.PhaseIndexAdd)
+	defer span.End()
+
+	cert := ix.certOf(g) // outside the lock: pure, possibly expensive
+
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	if ix.closed {
+		ix.mu.Unlock()
+		return 0, false, ErrIndexClosed
+	}
+	if ix.st != nil {
+		wspan := rec.StartPhase(obs.PhaseWALAppend)
+		_, werr := ix.st.Append(cert)
+		wspan.End()
+		if werr != nil {
+			ix.mu.Unlock()
+			return 0, false, werr
+		}
+		rec.Inc(obs.WALAppends)
+	}
 	id = len(ix.certs)
 	ix.certs = append(ix.certs, cert)
 	members := ix.classes[cert]
 	ix.classes[cert] = append(members, id)
-	return id, len(members) > 0
+	needCompact := ix.st != nil && ix.compactEvery > 0 &&
+		ix.st.SinceSnapshot() >= ix.compactEvery
+	ix.mu.Unlock()
+
+	if needCompact && ix.compacting.CompareAndSwap(false, true) {
+		ix.bg.Add(1)
+		go func() {
+			defer ix.bg.Done()
+			defer ix.compacting.Store(false)
+			_ = ix.Flush() // best effort; the WAL still holds everything
+		}()
+	}
+	return id, len(members) > 0, nil
 }
 
-// Lookup returns the ids of the stored graphs isomorphic to g.
+// Lookup returns the ids of the stored graphs isomorphic to g. The
+// certificate is computed (or served from the cache) outside the lock;
+// only the class-map read is guarded.
 func (ix *GraphIndex) Lookup(g *Graph) []int {
+	rec := ix.opt.Obs
+	rec.Inc(obs.IndexLookups)
+	span := rec.StartPhase(obs.PhaseIndexLookup)
+	defer span.End()
+
 	cert := ix.certOf(g)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return append([]int(nil), ix.classes[cert]...)
 }
 
-// Len returns the number of stored graphs; Classes the number of
-// isomorphism classes.
+// Len returns the number of stored graphs.
 func (ix *GraphIndex) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -58,6 +210,120 @@ func (ix *GraphIndex) Classes() int {
 	return len(ix.classes)
 }
 
+// Flush synchronously compacts the index: the full certificate list is
+// written as a new snapshot (atomic rename) and the WAL is reset. A no-op
+// on an ephemeral index.
+func (ix *GraphIndex) Flush() error {
+	if ix.st == nil {
+		return nil
+	}
+	rec := ix.opt.Obs
+	span := rec.StartPhase(obs.PhaseSnapshot)
+	defer span.End()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrIndexClosed
+	}
+	return ix.flushLocked()
+}
+
+func (ix *GraphIndex) flushLocked() error {
+	if err := ix.st.Compact(ix.certs); err != nil {
+		return err
+	}
+	ix.opt.Obs.Inc(obs.SnapshotsWritten)
+	return nil
+}
+
+// Close flushes a final snapshot and releases the WAL. Further Adds,
+// Flushes and Closes return ErrIndexClosed (Close itself is idempotent).
+// A no-op on an ephemeral index.
+func (ix *GraphIndex) Close() error {
+	if ix.st == nil {
+		return nil
+	}
+	ix.mu.Lock()
+	if ix.closed {
+		ix.mu.Unlock()
+		return nil
+	}
+	ix.closed = true
+	ix.mu.Unlock()
+
+	ix.bg.Wait() // drain any in-flight background compaction
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.flushLocked(); err != nil {
+		ix.st.Close()
+		return err
+	}
+	return ix.st.Close()
+}
+
+// IndexStats is a point-in-time summary of a GraphIndex, serialized by
+// the indexd /stats endpoint.
+type IndexStats struct {
+	// Graphs and Classes count stored graphs and isomorphism classes.
+	Graphs  int `json:"graphs"`
+	Classes int `json:"classes"`
+
+	// Certificate-cache effectiveness. Hits are Adds/Lookups that skipped
+	// the DviCL build entirely.
+	CacheEntries int   `json:"cache_entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+
+	// Persistence state. WALRecords is the append count since the last
+	// snapshot (the compaction pressure); the three recovery fields
+	// describe what OpenGraphIndex found on disk.
+	Persistent      bool  `json:"persistent"`
+	WALRecords      int   `json:"wal_records"`
+	SnapshotCerts   int   `json:"snapshot_certs"`
+	ReplayedRecords int   `json:"replayed_records"`
+	RecoveredBytes  int64 `json:"recovered_bytes"`
+}
+
+// Stats returns current index statistics.
+func (ix *GraphIndex) Stats() IndexStats {
+	ix.mu.RLock()
+	s := IndexStats{
+		Graphs:          len(ix.certs),
+		Classes:         len(ix.classes),
+		Persistent:      ix.st != nil,
+		SnapshotCerts:   ix.snapshotCerts,
+		ReplayedRecords: ix.replayedAtOpen,
+		RecoveredBytes:  ix.recoveredBytes,
+	}
+	if ix.st != nil {
+		s.WALRecords = ix.st.SinceSnapshot()
+	}
+	ix.mu.RUnlock()
+	if ix.cache != nil {
+		s.CacheEntries = ix.cache.len()
+		s.CacheHits = ix.cache.hits.Load()
+		s.CacheMisses = ix.cache.misses.Load()
+	}
+	return s
+}
+
+// certOf computes (or recalls) the canonical certificate of g. It runs
+// outside the index lock by design — see the Concurrency section of the
+// GraphIndex doc — and consults the LRU cache keyed by the exact labeled
+// graph (graph.Hash), so repeated presentations of the same graph skip
+// DviCL entirely.
 func (ix *GraphIndex) certOf(g *Graph) string {
-	return string(CanonicalCert(g, nil, ix.opt))
+	if ix.cache == nil {
+		return string(CanonicalCert(g, nil, ix.opt))
+	}
+	key := g.Hash()
+	if cert, ok := ix.cache.get(key); ok {
+		ix.opt.Obs.Inc(obs.CertCacheHits)
+		return cert
+	}
+	ix.opt.Obs.Inc(obs.CertCacheMisses)
+	cert := string(CanonicalCert(g, nil, ix.opt))
+	ix.cache.put(key, cert)
+	return cert
 }

@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Hash returns a collision-resistant digest of g as a *labeled* graph:
+// two graphs hash equal iff they have identical vertex counts and
+// identical adjacency (the same property Equal tests), up to SHA-256
+// collisions. Unlike Fingerprint it is NOT isomorphism-invariant — a
+// relabeled copy hashes differently — which is exactly what makes it a
+// safe cache key for per-graph derived values such as canonical
+// certificates.
+func (g *Graph) Hash() [32]byte {
+	h := sha256.New()
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(g.N()))
+	h.Write(word[:])
+	buf := make([]byte, 0, 4*max(len(g.offsets), len(g.adj)))
+	for _, off := range g.offsets {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(off))
+	}
+	h.Write(buf)
+	buf = buf[:0]
+	for _, w := range g.adj {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
+	}
+	h.Write(buf)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -52,6 +52,20 @@ const (
 	SSMLeafCandidates // candidate images generated at leaf base cases
 	SSMLeafPruned     // SM embeddings rejected by the symmetry check
 
+	// GraphIndex + internal/store — the certificate index serving layer.
+	IndexAdds        // GraphIndex.Add calls
+	IndexLookups     // GraphIndex.Lookup calls
+	CertCacheHits    // certificate LRU cache hits (DviCL build skipped)
+	CertCacheMisses  // certificate LRU cache misses (DviCL build ran)
+	WALAppends       // records appended to the index WAL
+	WALReplayed      // WAL records replayed at OpenGraphIndex
+	SnapshotsWritten // snapshot compactions completed
+
+	// cmd/indexd — the HTTP serving layer.
+	HTTPRequests  // requests received (all endpoints)
+	HTTPErrors    // responses with status >= 400
+	HTTPThrottled // 503s issued by the concurrency limiter
+
 	numCounters
 )
 
@@ -76,6 +90,16 @@ var counterNames = [numCounters]string{
 	SSMQueries:         "ssm_queries",
 	SSMLeafCandidates:  "ssm_leaf_candidates",
 	SSMLeafPruned:      "ssm_leaf_pruned",
+	IndexAdds:          "index_adds",
+	IndexLookups:       "index_lookups",
+	CertCacheHits:      "cert_cache_hits",
+	CertCacheMisses:    "cert_cache_misses",
+	WALAppends:         "wal_appends",
+	WALReplayed:        "wal_replayed",
+	SnapshotsWritten:   "snapshots_written",
+	HTTPRequests:       "http_requests",
+	HTTPErrors:         "http_errors",
+	HTTPThrottled:      "http_throttled",
 }
 
 // String returns the counter's snake_case metric name.
@@ -101,6 +125,13 @@ const (
 	PhaseCombineST              // Algorithm 5
 	PhaseSSMQuery               // one SSM count/enumerate/key query
 
+	// Serving-layer phases (GraphIndex, internal/store, cmd/indexd).
+	PhaseIndexAdd    // one GraphIndex.Add (certificate + WAL append)
+	PhaseIndexLookup // one GraphIndex.Lookup (cache probe + maybe DviCL)
+	PhaseWALAppend   // one WAL record write (+ fsync when -sync)
+	PhaseSnapshot    // one snapshot compaction
+	PhaseHTTP        // one HTTP request, end to end
+
 	numPhases
 )
 
@@ -113,6 +144,11 @@ var phaseNames = [numPhases]string{
 	PhaseCombineCL: "combine_cl",
 	PhaseCombineST: "combine_st",
 	PhaseSSMQuery:  "ssm_query",
+	PhaseIndexAdd:    "index_add",
+	PhaseIndexLookup: "index_lookup",
+	PhaseWALAppend:   "wal_append",
+	PhaseSnapshot:    "snapshot",
+	PhaseHTTP:        "http_request",
 }
 
 // String returns the phase's snake_case metric name.

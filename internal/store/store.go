@@ -1,0 +1,562 @@
+// Package store persists a certificate index: the durable substrate under
+// dvicl.GraphIndex and the indexd daemon.
+//
+// The on-disk state of an index directory is two files:
+//
+//	index.snap — a point-in-time snapshot of the whole certificate list
+//	index.wal  — an append-only write-ahead log of Adds since the snapshot
+//
+// Both are versioned, checksummed binary formats (see the format comments
+// below). The recovery contract is:
+//
+//   - A snapshot must verify end to end — magic, version, record framing
+//     and the trailing CRC — or loading fails with a typed error
+//     (ErrBadMagic, *VersionError, ErrChecksum, ErrTruncated). A snapshot
+//     is written to a temporary file and atomically renamed into place, so
+//     a crash during compaction never corrupts the previous snapshot.
+//
+//   - A WAL may legitimately end mid-record after a crash (the torn tail
+//     of the write in flight at kill -9). Open truncates a torn tail and
+//     reports the dropped byte count in Result.TornBytes — recovery is
+//     explicit, never silent. Any *complete* record whose checksum fails,
+//     and any out-of-order sequence number, is corruption and fails the
+//     load with ErrChecksum / ErrOutOfOrder: partial state is never
+//     returned.
+//
+// Every WAL record carries the sequence number (= certificate id) it
+// appends, so replay is idempotent across the compaction window: if a
+// crash lands between "snapshot renamed" and "WAL reset", the stale WAL
+// records are recognized as already covered by the snapshot and skipped.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File names inside an index directory.
+const (
+	SnapshotName = "index.snap"
+	WALName      = "index.wal"
+)
+
+// Format constants. Snapshot and WAL carry distinct magics so a
+// misconfigured path fails loudly instead of decoding garbage.
+const (
+	snapMagic = "DVIS"
+	walMagic  = "DVIW"
+	// Version is the current on-disk format version of both files.
+	Version uint16 = 1
+	// maxRecordLen caps a single certificate's encoded size; a length
+	// field beyond it is treated as corruption rather than attempted as
+	// an allocation.
+	maxRecordLen = 1 << 28
+)
+
+// Typed load errors. Callers match them with errors.Is / errors.As; every
+// failure path returns one of these wrapped with file context — loading
+// never panics and never returns partial state.
+var (
+	// ErrBadMagic: the file does not start with the expected magic bytes.
+	ErrBadMagic = errors.New("store: bad magic")
+	// ErrChecksum: a complete snapshot or WAL record fails CRC32
+	// verification, or carries an implausible length field.
+	ErrChecksum = errors.New("store: checksum mismatch")
+	// ErrTruncated: the file ends in the middle of a header or record
+	// where the format requires more bytes (strict readers only; Open
+	// recovers a torn WAL tail instead).
+	ErrTruncated = errors.New("store: truncated file")
+	// ErrOutOfOrder: a WAL record's sequence number is neither covered by
+	// the snapshot nor the next expected id.
+	ErrOutOfOrder = errors.New("store: WAL sequence out of order")
+	// ErrClosed: the store has been closed.
+	ErrClosed = errors.New("store: closed")
+)
+
+// VersionError reports an on-disk format version this build cannot read.
+type VersionError struct {
+	File string
+	Got  uint16
+	Want uint16
+}
+
+// Error implements the error interface.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("store: %s: format version %d, this build reads %d", e.File, e.Got, e.Want)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Sync fsyncs the WAL after every Append. Off, durability of the tail
+	// is bounded by the OS page-cache flush interval; on, every
+	// acknowledged Add survives power loss at the cost of one fsync per
+	// write.
+	Sync bool
+}
+
+// Result describes what Open loaded.
+type Result struct {
+	// Certs is the recovered certificate list, id-ordered: snapshot
+	// contents followed by replayed WAL appends.
+	Certs []string
+	// SnapshotCerts is how many of Certs came from the snapshot.
+	SnapshotCerts int
+	// WALReplayed is how many WAL records extended the snapshot (stale
+	// records already covered by the snapshot are not counted).
+	WALReplayed int
+	// TornBytes is the size of the torn WAL tail dropped during crash
+	// recovery (0 on a clean shutdown).
+	TornBytes int64
+}
+
+// Store is the durable backend of one index directory: a loaded snapshot
+// plus an open WAL accepting appends. Methods are not themselves
+// synchronized — dvicl.GraphIndex serializes access under its own lock so
+// WAL order always matches id order.
+type Store struct {
+	dir    string
+	opt    Options
+	wal    *os.File
+	walBuf []byte // scratch for record framing
+	// nextSeq is the sequence number the next Append writes (= the id the
+	// index will assign). sinceSnap counts appends since the last snapshot
+	// (compaction pressure).
+	nextSeq   uint64
+	sinceSnap int
+	closed    bool
+}
+
+// Open loads (or creates) the index directory and returns the store plus
+// what it recovered. See the package comment for the recovery contract.
+func Open(dir string, opt Options) (*Store, *Result, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{}
+	certs, err := ReadSnapshotFile(filepath.Join(dir, SnapshotName))
+	switch {
+	case err == nil:
+		res.Certs = certs
+		res.SnapshotCerts = len(certs)
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory (or WAL-only): start empty.
+	default:
+		return nil, nil, err
+	}
+
+	wal, err := os.OpenFile(filepath.Join(dir, WALName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{dir: dir, opt: opt, wal: wal}
+	if err := s.replayWAL(res); err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	s.nextSeq = uint64(len(res.Certs))
+	s.sinceSnap = res.WALReplayed
+	return s, res, nil
+}
+
+// replayWAL reads the open WAL into res, recovering a torn tail by
+// truncating it. The file offset is left at the end for appends.
+func (s *Store) replayWAL(res *Result) error {
+	info, err := s.wal.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size == 0 {
+		// New WAL: stamp the header.
+		return s.writeWALHeader()
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReader(s.wal)
+	if err := readWALHeader(br); err != nil {
+		if errors.Is(err, ErrTruncated) {
+			// Crash while creating the WAL: no records can exist yet.
+			res.TornBytes = size
+			return s.resetWAL()
+		}
+		return fmt.Errorf("%s: %w", WALName, err)
+	}
+	good := int64(walHeaderLen) // end offset of the last intact record
+	next := uint64(len(res.Certs))
+	snapCount := uint64(res.SnapshotCerts)
+	for {
+		seq, cert, n, err := readWALRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrTruncated) {
+			// Torn tail: drop it, keep everything before.
+			res.TornBytes = size - good
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s@%d: %w", WALName, good, err)
+		}
+		good += int64(n)
+		switch {
+		case seq < snapCount:
+			// Already covered by the snapshot (crash landed between the
+			// snapshot rename and the WAL reset). Skip.
+		case seq == next:
+			res.Certs = append(res.Certs, cert)
+			res.WALReplayed++
+			next++
+		default:
+			return fmt.Errorf("%s@%d: record seq %d, want %d: %w",
+				WALName, good, seq, next, ErrOutOfOrder)
+		}
+	}
+	if good < size {
+		if err := s.wal.Truncate(good); err != nil {
+			return err
+		}
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	_, err = s.wal.Seek(good, io.SeekStart)
+	return err
+}
+
+// Append durably records one certificate and returns the sequence number
+// (certificate id) it was assigned.
+func (s *Store) Append(cert string) (uint64, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	seq := s.nextSeq
+	rec := appendWALRecord(s.walBuf[:0], seq, cert)
+	s.walBuf = rec[:0]
+	if _, err := s.wal.Write(rec); err != nil {
+		return 0, err
+	}
+	if s.opt.Sync {
+		if err := s.wal.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	s.nextSeq++
+	s.sinceSnap++
+	return seq, nil
+}
+
+// SinceSnapshot returns the number of WAL records not yet covered by a
+// snapshot — the compaction pressure.
+func (s *Store) SinceSnapshot() int { return s.sinceSnap }
+
+// Compact atomically replaces the snapshot with certs (which must be the
+// full current id-ordered certificate list) and resets the WAL. A crash at
+// any point leaves the directory loadable: the snapshot rename is atomic,
+// and stale WAL records are skipped on replay via their sequence numbers.
+func (s *Store) Compact(certs []string) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := writeSnapshotFile(s.dir, certs); err != nil {
+		return err
+	}
+	if err := s.resetWAL(); err != nil {
+		return err
+	}
+	s.nextSeq = uint64(len(certs))
+	s.sinceSnap = 0
+	return nil
+}
+
+// resetWAL truncates the WAL to a fresh header.
+func (s *Store) resetWAL() error {
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return s.writeWALHeader()
+}
+
+func (s *Store) writeWALHeader() error {
+	var hdr [walHeaderLen]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	if _, err := s.wal.Write(hdr[:]); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// Close syncs and closes the WAL. The store is unusable afterwards.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}
+
+// ---- snapshot codec ----
+//
+// Layout (little-endian):
+//
+//	magic   "DVIS"                      4 bytes
+//	version uint16 + reserved uint16    4 bytes
+//	count   uint64                      8 bytes
+//	count × { len uint32, bytes }       framed certificates
+//	crc32   uint32 (IEEE, over everything above)
+
+// writeSnapshotFile writes certs to dir/index.snap via a temporary file,
+// fsync, and atomic rename.
+func writeSnapshotFile(dir string, certs []string) (err error) {
+	tmp, err := os.CreateTemp(dir, SnapshotName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = WriteSnapshot(tmp, certs); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), filepath.Join(dir, SnapshotName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WriteSnapshot encodes certs in the snapshot format onto w.
+func WriteSnapshot(w io.Writer, certs []string) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var hdr [16]byte
+	copy(hdr[:4], snapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(certs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	for _, c := range certs {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(c)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c); err != nil {
+			return err
+		}
+	}
+	// Flush pushes every hashed byte through the MultiWriter before the
+	// trailer is written directly to w (the trailer is not part of the
+	// CRC'd region).
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadSnapshotFile loads and fully verifies a snapshot file.
+func ReadSnapshotFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	certs, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return certs, nil
+}
+
+// ReadSnapshot decodes and verifies a snapshot from r: magic, version,
+// framing, and the trailing CRC must all check out, or a typed error is
+// returned and no data is.
+func ReadSnapshot(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	// read pulls exactly len(buf) bytes and folds them into the CRC, so
+	// the hash covers precisely the consumed region regardless of bufio's
+	// read-ahead.
+	read := func(buf []byte) error {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return truncated(err)
+		}
+		crc.Write(buf)
+		return nil
+	}
+	var hdr [16]byte
+	if err := read(hdr[:]); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != snapMagic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, &VersionError{File: SnapshotName, Got: v, Want: Version}
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	certs := make([]string, 0, int(min(count, 1<<20)))
+	var lenBuf [4]byte
+	for i := uint64(0); i < count; i++ {
+		if err := read(lenBuf[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxRecordLen {
+			return nil, fmt.Errorf("record %d: implausible length %d: %w", i, n, ErrChecksum)
+		}
+		buf := make([]byte, n)
+		if err := read(buf); err != nil {
+			return nil, err
+		}
+		certs = append(certs, string(buf))
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, truncated(err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc.Sum32() {
+		return nil, ErrChecksum
+	}
+	return certs, nil
+}
+
+// ---- WAL codec ----
+//
+// File header (little-endian): magic "DVIW" (4) + version uint16 +
+// reserved uint16. Then records:
+//
+//	len  uint32  — payload (certificate) length
+//	seq  uint64  — certificate id this record appends
+//	payload
+//	crc  uint32  — CRC32-IEEE over len+seq+payload
+const walHeaderLen = 8
+
+// readWALHeader verifies the WAL file header.
+func readWALHeader(br *bufio.Reader) error {
+	var hdr [walHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return truncated(err)
+	}
+	if string(hdr[:4]) != walMagic {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return &VersionError{File: WALName, Got: v, Want: Version}
+	}
+	return nil
+}
+
+// appendWALRecord frames (seq, cert) onto buf and returns the extended
+// slice.
+func appendWALRecord(buf []byte, seq uint64, cert string) []byte {
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cert)))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, cert...)
+	sum := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// readWALRecord reads one record. It returns io.EOF cleanly at a record
+// boundary, ErrTruncated when the stream ends mid-record, and ErrChecksum
+// when a complete record fails verification. n is the encoded size.
+func readWALRecord(br *bufio.Reader) (seq uint64, cert string, n int, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, "", 0, io.EOF
+		}
+		return 0, "", 0, truncated(err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length > maxRecordLen {
+		return 0, "", 0, fmt.Errorf("implausible record length %d: %w", length, ErrChecksum)
+	}
+	seq = binary.LittleEndian.Uint64(hdr[4:12])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, "", 0, truncated(err)
+	}
+	var sumBuf [4]byte
+	if _, err := io.ReadFull(br, sumBuf[:]); err != nil {
+		return 0, "", 0, truncated(err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if binary.LittleEndian.Uint32(sumBuf[:]) != crc.Sum32() {
+		return 0, "", 0, ErrChecksum
+	}
+	return seq, string(payload), int(len(hdr)) + int(length) + 4, nil
+}
+
+// WALRecord is one decoded WAL entry (strict reader output).
+type WALRecord struct {
+	Seq  uint64
+	Cert string
+}
+
+// ReadWAL is the strict WAL reader: the header and every record must be
+// complete and verified, or a typed error is returned (ErrTruncated for a
+// torn tail — unlike Open, which recovers it).
+func ReadWAL(r io.Reader) ([]WALRecord, error) {
+	br := bufio.NewReader(r)
+	if err := readWALHeader(br); err != nil {
+		return nil, err
+	}
+	var recs []WALRecord
+	for {
+		seq, cert, _, err := readWALRecord(br)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, WALRecord{Seq: seq, Cert: cert})
+	}
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
+}
