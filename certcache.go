@@ -2,23 +2,33 @@ package dvicl
 
 import (
 	"container/list"
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 )
 
-// certCache is a bounded LRU map from a labeled-graph hash (graph.Hash,
-// exact identity — NOT isomorphism-invariant) to the graph's canonical
-// certificate. Repeated Adds/Lookups of the same labeled graph skip the
-// DviCL build entirely; a relabeled copy misses and is computed normally.
-// Safe for concurrent use.
+// certCache is a striped, bounded LRU map from a labeled-graph hash
+// (graph.Hash, exact identity — NOT isomorphism-invariant) to the graph's
+// canonical certificate. Repeated Adds/Lookups of the same labeled graph
+// skip the DviCL build entirely; a relabeled copy misses and is computed
+// normally. The cache is partitioned into independently locked ways
+// (sized to the index's shard count) so concurrent probes from many
+// ingest workers do not serialize on one mutex; the capacity is split
+// evenly across ways, and eviction is LRU within a way. Safe for
+// concurrent use.
 type certCache struct {
+	ways []*certWay
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// certWay is one stripe: a classic mutex-guarded LRU.
+type certWay struct {
 	mu    sync.Mutex
 	cap   int
 	items map[[32]byte]*list.Element
 	order *list.List // front = most recently used
-
-	hits   atomic.Int64
-	misses atomic.Int64
 }
 
 type certEntry struct {
@@ -26,51 +36,80 @@ type certEntry struct {
 	cert string
 }
 
-func newCertCache(capacity int) *certCache {
-	return &certCache{
-		cap:   capacity,
-		items: make(map[[32]byte]*list.Element, capacity),
-		order: list.New(),
+// newCertCache builds a cache of roughly `capacity` total entries split
+// across `ways` stripes (clamped to [1, capacity] so every way holds at
+// least one entry).
+func newCertCache(capacity, ways int) *certCache {
+	if ways < 1 {
+		ways = 1
 	}
+	if ways > capacity {
+		ways = capacity
+	}
+	perWay := (capacity + ways - 1) / ways
+	c := &certCache{ways: make([]*certWay, ways)}
+	for i := range c.ways {
+		c.ways[i] = &certWay{
+			cap:   perWay,
+			items: make(map[[32]byte]*list.Element, perWay),
+			order: list.New(),
+		}
+	}
+	return c
+}
+
+// way picks the stripe for a key. The key is a SHA-256 digest, so any
+// fixed 8 bytes of it are uniform.
+func (c *certCache) way(key [32]byte) *certWay {
+	if len(c.ways) == 1 {
+		return c.ways[0]
+	}
+	return c.ways[binary.LittleEndian.Uint64(key[:8])%uint64(len(c.ways))]
 }
 
 // get returns the cached certificate for key, promoting it to most
-// recently used. The hit/miss tallies feed IndexStats and the obs
-// counters.
+// recently used in its way. The hit/miss tallies feed IndexStats and the
+// obs counters.
 func (c *certCache) get(key [32]byte) (string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	w := c.way(key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	el, ok := w.items[key]
 	if !ok {
 		c.misses.Add(1)
 		return "", false
 	}
-	c.order.MoveToFront(el)
+	w.order.MoveToFront(el)
 	c.hits.Add(1)
 	return el.Value.(*certEntry).cert, true
 }
 
-// put inserts (or refreshes) key→cert, evicting the least recently used
-// entry when over capacity.
+// put inserts (or refreshes) key→cert, evicting the way's least recently
+// used entry when the way is over capacity.
 func (c *certCache) put(key [32]byte, cert string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.order.MoveToFront(el)
+	w := c.way(key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if el, ok := w.items[key]; ok {
+		w.order.MoveToFront(el)
 		el.Value.(*certEntry).cert = cert
 		return
 	}
-	c.items[key] = c.order.PushFront(&certEntry{key: key, cert: cert})
-	if c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*certEntry).key)
+	w.items[key] = w.order.PushFront(&certEntry{key: key, cert: cert})
+	if w.order.Len() > w.cap {
+		oldest := w.order.Back()
+		w.order.Remove(oldest)
+		delete(w.items, oldest.Value.(*certEntry).key)
 	}
 }
 
-// len returns the current entry count.
+// len returns the current entry count across all ways.
 func (c *certCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for _, w := range c.ways {
+		w.mu.Lock()
+		n += w.order.Len()
+		w.mu.Unlock()
+	}
+	return n
 }

@@ -8,14 +8,28 @@
 //	gengraph -list
 //	gengraph -name cfi-200 > cfi200.txt
 //	gengraph -name wikivote -scale 20 -format graph6 > wikivote.g6
+//
+// With -random it instead emits a multi-graph stream for the bulk-ingest
+// pipeline (cmd/bulkload, indexd /bulk): k Erdős–Rényi graphs drawn from
+// -rand-classes isomorphism classes (copies beyond the first occurrence
+// of a class are randomly relabeled, so dedup is exercised by genuinely
+// distinct labelings). Graph6 output is one record per line; edge-list
+// output separates records with blank lines. Deterministic for a fixed
+// -seed.
+//
+//	gengraph -random 100000 -rand-n 24 -rand-m 60 -rand-classes 5000 \
+//	         -format graph6 > stream.g6
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"dvicl"
+	"dvicl/internal/gen"
 )
 
 func main() {
@@ -23,7 +37,19 @@ func main() {
 	name := flag.String("name", "", "dataset name")
 	scale := flag.Int("scale", 20, "scale divisor for real-graph stand-ins")
 	format := flag.String("format", "edgelist", "output format: edgelist or graph6")
+	random := flag.Int("random", 0, "emit this many random graphs as a multi-graph stream")
+	randN := flag.Int("rand-n", 24, "vertices per random graph")
+	randM := flag.Int("rand-m", 60, "edges per random graph")
+	randClasses := flag.Int("rand-classes", 0, "distinct iso-classes in the stream (0 = all distinct)")
+	seed := flag.Int64("seed", 1, "random stream seed")
 	flag.Parse()
+
+	if *random > 0 {
+		if err := emitRandomStream(*random, *randN, *randM, *randClasses, *seed, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("# benchmark families (Table 2):")
@@ -58,6 +84,46 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown format %q", *format))
 	}
+}
+
+// emitRandomStream writes k random graphs from `classes` iso-classes
+// (0 = every graph its own class) to stdout in the requested stream
+// format. Repeat presentations of a class are relabeled by a fresh
+// random permutation, so the stream exercises real isomorphism dedup,
+// not byte-level dedup.
+func emitRandomStream(k, n, m, classes int, seed int64, format string) error {
+	if classes <= 0 || classes > k {
+		classes = k
+	}
+	r := rand.New(rand.NewSource(seed))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < k; i++ {
+		g := gen.ErdosRenyi(n, m, seed+int64(i%classes))
+		if i >= classes {
+			g = g.Permute(r.Perm(g.N()))
+		}
+		switch format {
+		case "graph6":
+			s, err := dvicl.ToGraph6(g)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w, s); err != nil {
+				return err
+			}
+		case "edgelist":
+			if err := dvicl.WriteEdgeList(w, g); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	indexd [-addr :7171] [-data dir] [-sync] [-cache n] [-compact-every n]
-//	       [-max-inflight n] [-max-verts n] [-timeout d] [-workers n]
+//	indexd [-addr :7171] [-data dir] [-shards n] [-sync] [-cache n]
+//	       [-compact-every n] [-max-inflight n] [-max-verts n]
+//	       [-max-body-bytes n] [-timeout d] [-workers n] [-bulk-workers n]
 //	       [-metrics-json out.json] [-debug-addr :6060]
 //
 // Endpoints (JSON; see docs/OPERATIONS.md for curl examples):
@@ -16,6 +17,7 @@
 //	               → {"id":0,"duplicate":false}
 //	POST /lookup   same body → {"ids":[0,3]}
 //	POST /batch    {"ops":[{"op":"add","n":...,"edges":...},...]}
+//	POST /bulk     streaming graph6 body, one record per line → ingest report
 //	POST /flush    force a snapshot compaction → index stats
 //	GET  /stats    index + cache + counter statistics
 //	GET  /healthz  liveness ("ok", 200)
@@ -50,13 +52,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":7171", "HTTP listen address")
 	data := flag.String("data", "", "index directory (empty = in-memory, no persistence)")
+	shards := flag.Int("shards", 1, "index shards (fixed at creation; an existing -data directory keeps its on-disk count)")
 	sync := flag.Bool("sync", false, "fsync the WAL on every add (durable to power loss)")
 	cache := flag.Int("cache", 0, "certificate LRU cache entries (0 = default 4096, negative = off)")
 	compactEvery := flag.Int("compact-every", 0, "snapshot after this many WAL appends (0 = default 8192, negative = only on /flush and shutdown)")
 	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrent graph-processing requests before 503 backpressure")
 	maxVerts := flag.Int("max-verts", 1<<20, "reject graphs with more vertices than this")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "reject JSON request bodies larger than this with 413 (0 = default 32 MiB)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	workers := flag.Int("workers", 0, "parallel subtree builders per certificate build (0 = sequential)")
+	bulkWorkers := flag.Int("bulk-workers", 0, "parallel canonicalization workers for /bulk (0 = NumCPU)")
 	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
 	flag.Parse()
@@ -67,6 +72,7 @@ func main() {
 		CacheSize:    *cache,
 		SyncWrites:   *sync,
 		CompactEvery: *compactEvery,
+		Shards:       *shards,
 	}
 
 	var ix *dvicl.GraphIndex
@@ -77,10 +83,10 @@ func main() {
 			log.Fatalf("indexd: open %s: %v", *data, err)
 		}
 		st := ix.Stats()
-		log.Printf("indexd: loaded %d graphs (%d classes) from %s: snapshot=%d wal=%d torn-bytes=%d",
-			st.Graphs, st.Classes, *data, st.SnapshotCerts, st.ReplayedRecords, st.RecoveredBytes)
+		log.Printf("indexd: loaded %d graphs (%d classes, %d shards) from %s: snapshot=%d wal=%d torn-bytes=%d",
+			st.Graphs, st.Classes, st.Shards, *data, st.SnapshotCerts, st.ReplayedRecords, st.RecoveredBytes)
 	} else {
-		ix = dvicl.NewGraphIndex(opt.DviCL)
+		ix = dvicl.NewShardedGraphIndex(opt.DviCL, *shards)
 		log.Printf("indexd: in-memory index (no -data directory; adds will not survive restart)")
 	}
 
@@ -93,7 +99,7 @@ func main() {
 		log.Printf("indexd: debug server on http://%s/debug/pprof/", dbg.Addr)
 	}
 
-	srv := newServer(ix, rec, *maxInflight, *maxVerts)
+	srv := newServer(ix, rec, *maxInflight, *maxVerts, *maxBodyBytes, *bulkWorkers)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("indexd: listen %s: %v", *addr, err)

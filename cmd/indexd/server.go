@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"dvicl"
+	"dvicl/internal/graph"
 	"dvicl/internal/obs"
+	"dvicl/internal/pipeline"
 )
 
 // Request/response bodies. A graph arrives either as an explicit edge
@@ -53,41 +56,68 @@ type errResp struct {
 	Error string `json:"error"`
 }
 
+// bulkResp is the /bulk ingest report: the pipeline totals for this
+// request plus what the index did with the certificates.
+type bulkResp struct {
+	pipeline.Report
+	NewClasses int64            `json:"new_classes"`
+	Duplicates int64            `json:"duplicates"`
+	Index      dvicl.IndexStats `json:"index"`
+}
+
 type statsResp struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Index         dvicl.IndexStats `json:"index"`
 	Counters      map[string]int64 `json:"counters"`
 }
 
-// Request-size guardrails: bodies and batch fan-out are bounded so one
-// request cannot exhaust the process.
+// Request-size guardrails: batch fan-out and bulk chunking are bounded so
+// one request cannot exhaust the process. The JSON body cap is a flag
+// (-max-body-bytes); these stay constants.
 const (
-	maxBodyBytes = 32 << 20
-	maxBatchOps  = 1024
+	defaultMaxBodyBytes = 32 << 20
+	maxBatchOps         = 1024
+	// bulkChunkRecords is how many graph6 records the /bulk endpoint
+	// processes per admission token: large enough to amortize pool
+	// startup, small enough that interactive traffic interleaves with a
+	// long-running stream.
+	bulkChunkRecords = 256
 )
 
 // server holds the daemon's state: the index, the recorder, and the
 // admission control for the graph-processing endpoints.
 type server struct {
-	ix       *dvicl.GraphIndex
-	rec      *dvicl.MetricsRecorder // alias of *obs.Recorder
-	sem      chan struct{}          // admission tokens for expensive endpoints
-	maxVerts int
-	start    time.Time
+	ix           *dvicl.GraphIndex
+	rec          *dvicl.MetricsRecorder // alias of *obs.Recorder
+	sem          chan struct{}          // admission tokens for expensive endpoints
+	maxVerts     int
+	maxBodyBytes int64
+	bulkWorkers  int
+	start        time.Time
 }
 
-func newServer(ix *dvicl.GraphIndex, rec *dvicl.MetricsRecorder, maxInflight, maxVerts int) *server {
+func newServer(ix *dvicl.GraphIndex, rec *dvicl.MetricsRecorder, maxInflight, maxVerts int, maxBodyBytes int64, bulkWorkers int) *server {
+	if maxBodyBytes <= 0 {
+		maxBodyBytes = defaultMaxBodyBytes
+	}
+	if bulkWorkers <= 0 {
+		bulkWorkers = runtime.NumCPU()
+	}
 	return &server{
-		ix:       ix,
-		rec:      rec,
-		sem:      make(chan struct{}, maxInflight),
-		maxVerts: maxVerts,
-		start:    time.Now(),
+		ix:           ix,
+		rec:          rec,
+		sem:          make(chan struct{}, maxInflight),
+		maxVerts:     maxVerts,
+		maxBodyBytes: maxBodyBytes,
+		bulkWorkers:  bulkWorkers,
+		start:        time.Now(),
 	}
 }
 
 // handler assembles the full route table. timeout bounds each request end
-// to end (http.TimeoutHandler replies 503 when exceeded).
+// to end (http.TimeoutHandler replies 503 when exceeded) — except /bulk,
+// which is a streaming ingest of unbounded duration and manages its own
+// backpressure per chunk instead.
 func (s *server) handler(timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /add", s.limited(s.handleAdd))
@@ -97,7 +127,10 @@ func (s *server) handler(timeout time.Duration) http.Handler {
 	mux.HandleFunc("GET /stats", s.instrumented(s.handleStats))
 	mux.HandleFunc("GET /healthz", s.instrumented(s.handleHealthz))
 	body := `{"error":"request timed out"}` + "\n"
-	return http.TimeoutHandler(mux, timeout, body)
+	outer := http.NewServeMux()
+	outer.HandleFunc("POST /bulk", s.instrumented(s.handleBulk))
+	outer.Handle("/", http.TimeoutHandler(mux, timeout, body))
+	return outer
 }
 
 // instrumented counts the request, times it, and tracks error statuses.
@@ -172,11 +205,21 @@ func (s *server) decodeGraph(req *graphReq) (*dvicl.Graph, error) {
 	return dvicl.FromEdges(req.N, req.Edges), nil
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+// decodeBody JSON-decodes a request body under the -max-body-bytes cap.
+// An oversized body is a 413 with a JSON error — MaxBytesReader cuts the
+// read off at the limit, so a huge payload never reaches the decoder's
+// buffers, let alone the heap.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errResp{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "bad request body: " + err.Error()})
 		return false
 	}
@@ -185,7 +228,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req graphReq
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	g, err := s.decodeGraph(&req)
@@ -207,7 +250,7 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	var req graphReq
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	g, err := s.decodeGraph(&req)
@@ -224,7 +267,7 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchReq
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Ops) > maxBatchOps {
@@ -260,6 +303,116 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBulk streams a graph6 body — one record per line, arbitrarily
+// many — through the parallel canonicalization pipeline into the index.
+// It is mounted outside the TimeoutHandler and the JSON body cap: the
+// body is consumed incrementally (never buffered whole), and
+// backpressure is applied per chunk instead of per request. Each chunk
+// of bulkChunkRecords records takes one admission token from the same
+// semaphore as /add, so a long-running stream shares capacity with
+// interactive traffic rather than starving it.
+func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	// The server's read/write deadlines are sized for request/response
+	// endpoints; a bulk stream legitimately runs longer. Clear them for
+	// this connection (admission control still bounds the work rate).
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
+
+	decode := func(raw string) (*dvicl.Graph, error) {
+		g, err := graph.FromGraph6(raw)
+		if err != nil {
+			return nil, err
+		}
+		if g.N() > s.maxVerts {
+			return nil, fmt.Errorf("graph has %d vertices, limit %d", g.N(), s.maxVerts)
+		}
+		return g, nil
+	}
+
+	var total bulkResp
+	const maxErrors = 20
+	start := time.Now()
+	runChunk := func(chunk []string, firstLine int) (int, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-r.Context().Done():
+			return 0, r.Context().Err() // client gone; status is moot
+		}
+		defer func() { <-s.sem }()
+		rep, err := pipeline.Run(pipeline.Config{
+			Workers: s.bulkWorkers,
+			Decode:  decode,
+			Canon: func(g *dvicl.Graph, wrec *dvicl.MetricsRecorder) string {
+				return string(dvicl.CanonicalCert(g, nil, dvicl.Options{Obs: wrec}))
+			},
+			Apply: func(seq int64, cert string) error {
+				_, dup, err := s.ix.AddCert(cert)
+				if err != nil {
+					return err
+				}
+				if dup {
+					total.Duplicates++
+				} else {
+					total.NewClasses++
+				}
+				return nil
+			},
+			Obs: s.rec,
+		}, pipeline.SliceSource(chunk, firstLine))
+		total.Records += rep.Records
+		total.Applied += rep.Applied
+		total.DecodeErrors += rep.DecodeErrors
+		for _, e := range rep.Errors {
+			if len(total.Errors) < maxErrors {
+				total.Errors = append(total.Errors, e)
+			}
+		}
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, dvicl.ErrIndexClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			return status, err
+		}
+		return 0, nil
+	}
+
+	sc := graph.NewGraph6Scanner(r.Body)
+	chunk := make([]string, 0, bulkChunkRecords)
+	for {
+		chunk = chunk[:0]
+		firstLine := 0
+		for len(chunk) < bulkChunkRecords && sc.Scan() {
+			if firstLine == 0 {
+				firstLine = sc.Line()
+			}
+			chunk = append(chunk, sc.Text())
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		if status, err := runChunk(chunk, firstLine); err != nil {
+			if status != 0 {
+				writeJSON(w, status, errResp{Error: err.Error()})
+			}
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "read stream: " + err.Error()})
+		return
+	}
+
+	total.Workers = s.bulkWorkers
+	total.ElapsedSeconds = time.Since(start).Seconds()
+	if total.ElapsedSeconds > 0 {
+		total.GraphsPerSec = float64(total.Applied) / total.ElapsedSeconds
+	}
+	total.Index = s.ix.Stats()
+	writeJSON(w, http.StatusOK, total)
 }
 
 func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {

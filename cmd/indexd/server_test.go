@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dvicl"
+	"dvicl/internal/gen"
 )
 
 func newTestServer(t *testing.T, dir string) (*httptest.Server, *dvicl.GraphIndex) {
@@ -26,7 +27,7 @@ func newTestServer(t *testing.T, dir string) (*httptest.Server, *dvicl.GraphInde
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(ix, rec, 8, 1<<20)
+	srv := newServer(ix, rec, 8, 1<<20, 0, 0)
 	ts := httptest.NewServer(srv.handler(10 * time.Second))
 	t.Cleanup(ts.Close)
 	return ts, ix
@@ -219,7 +220,7 @@ func TestFlushEndpoint(t *testing.T) {
 func TestBackpressure(t *testing.T) {
 	rec := dvicl.NewMetricsRecorder()
 	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
-	srv := newServer(ix, rec, 1, 1<<20)
+	srv := newServer(ix, rec, 1, 1<<20, 0, 0)
 
 	// Hold the only token.
 	release := make(chan struct{})
@@ -249,6 +250,144 @@ func TestBackpressure(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
+}
+
+// bulkStream builds a graph6 stream of k graphs from `classes` iso-classes
+// (copies beyond the first occurrence relabeled by a rotation).
+func bulkStream(t *testing.T, k, classes int) string {
+	t.Helper()
+	var sb bytes.Buffer
+	for i := 0; i < k; i++ {
+		g := gen.ErdosRenyi(12, 20, int64(500+i%classes))
+		if i >= classes {
+			perm := make([]int, g.N())
+			for v := range perm {
+				perm[v] = (v + 1 + i) % g.N()
+			}
+			g = g.Permute(perm)
+		}
+		s, err := dvicl.ToGraph6(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestBulkEndpoint streams more records than one admission chunk through
+// /bulk and checks that the report and the index agree on classes and
+// duplicates — and that the stream interoperates with /lookup.
+func TestBulkEndpoint(t *testing.T) {
+	ts, ix := newTestServer(t, "")
+	const k, classes = 600, 7 // 3 chunks of bulkChunkRecords=256
+	stream := bulkStream(t, k, classes)
+
+	var rep bulkResp
+	if code := postJSON(t, ts.URL+"/bulk", stream, &rep); code != 200 {
+		t.Fatalf("/bulk status %d", code)
+	}
+	if rep.Records != k || rep.Applied != k || rep.DecodeErrors != 0 {
+		t.Fatalf("bulk report: %+v", rep.Report)
+	}
+	if rep.NewClasses != classes || rep.Duplicates != k-classes {
+		t.Fatalf("classes/dups = %d/%d, want %d/%d", rep.NewClasses, rep.Duplicates, classes, k-classes)
+	}
+	if rep.Index.Graphs != k || rep.Index.Classes != classes {
+		t.Fatalf("index after bulk: %+v", rep.Index)
+	}
+	if ix.Len() != k {
+		t.Fatalf("ix.Len() = %d", ix.Len())
+	}
+
+	// The classes are now visible to the interactive path.
+	g := gen.ErdosRenyi(12, 20, 500)
+	g6, err := dvicl.ToGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]string{"graph6": g6})
+	var lk lookupResp
+	postJSON(t, ts.URL+"/lookup", string(body), &lk)
+	if len(lk.IDs) == 0 {
+		t.Fatal("bulk-ingested class not found by /lookup")
+	}
+}
+
+// TestBulkEndpointDecodeErrors: garbage records are counted and sampled,
+// not fatal.
+func TestBulkEndpointDecodeErrors(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	stream := "~~~nope\n" + bulkStream(t, 5, 5) + "!!!\n"
+	var rep bulkResp
+	if code := postJSON(t, ts.URL+"/bulk", stream, &rep); code != 200 {
+		t.Fatalf("/bulk status %d", code)
+	}
+	if rep.Records != 7 || rep.Applied != 5 || rep.DecodeErrors != 2 {
+		t.Fatalf("bulk report: %+v", rep.Report)
+	}
+	if len(rep.Errors) != 2 || rep.Errors[0].Line != 1 {
+		t.Fatalf("sampled errors: %+v", rep.Errors)
+	}
+}
+
+// TestBulkPersistentSharded: /bulk into a sharded on-disk index, then
+// reopen and check everything survived across the shard WALs.
+func TestBulkPersistentSharded(t *testing.T) {
+	dir := t.TempDir()
+	rec := dvicl.NewMetricsRecorder()
+	ix, err := dvicl.OpenGraphIndex(dir, dvicl.IndexOptions{
+		DviCL: dvicl.Options{Obs: rec}, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(ix, rec, 8, 1<<20, 0, 2)
+	ts := httptest.NewServer(srv.handler(10 * time.Second))
+	defer ts.Close()
+
+	var rep bulkResp
+	if code := postJSON(t, ts.URL+"/bulk", bulkStream(t, 40, 10), &rep); code != 200 {
+		t.Fatalf("/bulk status %d", code)
+	}
+	if rep.Index.Shards != 4 || rep.Index.Graphs != 40 {
+		t.Fatalf("sharded bulk: %+v", rep.Index)
+	}
+	ts.Close() // no ix.Close: simulate a kill
+
+	ix2, err := dvicl.OpenGraphIndex(dir, dvicl.IndexOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	if ix2.Len() != 40 || ix2.Classes() != 10 {
+		t.Fatalf("after reopen: %d graphs, %d classes", ix2.Len(), ix2.Classes())
+	}
+}
+
+// TestMaxBodyBytes: an oversized JSON body is a 413, not an OOM.
+func TestMaxBodyBytes(t *testing.T) {
+	rec := dvicl.NewMetricsRecorder()
+	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
+	srv := newServer(ix, rec, 8, 1<<20, 64, 0)
+	ts := httptest.NewServer(srv.handler(10 * time.Second))
+	defer ts.Close()
+
+	big := fmt.Sprintf(`{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]],"graph6":%q}`,
+		bytes.Repeat([]byte("x"), 256))
+	var e errResp
+	if code := postJSON(t, ts.URL+"/add", big, &e); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /add status %d, err %q", code, e.Error)
+	}
+	if e.Error == "" {
+		t.Fatal("413 without a JSON error body")
+	}
+	// A small body still works.
+	var add addResp
+	if code := postJSON(t, ts.URL+"/add", `{"n":2,"edges":[[0,1]]}`, &add); code != 200 {
+		t.Fatalf("small /add status %d", code)
+	}
 }
 
 // TestServerPersistenceAcrossRestart: the acceptance scenario — add a

@@ -2,6 +2,9 @@ package dvicl
 
 import (
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -25,16 +28,40 @@ type IndexOptions struct {
 	// fine). Attach an observability recorder via DviCL.Obs to get the
 	// index_*, cert_cache_*, wal_* and snapshot counters.
 	DviCL Options
-	// CacheSize bounds the LRU certificate cache (entries). 0 means the
-	// default (4096); negative disables caching.
+	// CacheSize bounds the LRU certificate cache (entries, summed across
+	// cache stripes). 0 means the default (4096); negative disables
+	// caching.
 	CacheSize int
 	// SyncWrites fsyncs the WAL on every Add. Off, an acknowledged Add
 	// survives process crash (kill -9) but not necessarily power loss.
 	SyncWrites bool
-	// CompactEvery triggers a background snapshot compaction after this
-	// many WAL appends. 0 means the default (8192); negative disables
-	// automatic compaction (Flush still compacts on demand).
+	// CompactEvery triggers a background snapshot compaction of a shard
+	// after this many WAL appends to it. 0 means the default (8192);
+	// negative disables automatic compaction (Flush still compacts on
+	// demand).
 	CompactEvery int
+	// Shards partitions the certificate map, cache, and WAL into this
+	// many independently locked shards (certificates are hash-routed, so
+	// isomorphic graphs always land on the same shard). 0 or 1 keeps the
+	// original single-shard layout (index.snap/index.wal at the root); a
+	// sharded index writes an index.manifest plus shard-NNN/
+	// subdirectories. The count is fixed at creation: reopening an
+	// existing directory adopts the on-disk count and ignores this field.
+	Shards int
+}
+
+// indexShard is one independently locked partition of a GraphIndex: a
+// slice of the certificate space (hash-routed by certificate bytes) with
+// its own class map, id list, and — when durable — its own WAL segment
+// and snapshot.
+type indexShard struct {
+	mu      sync.RWMutex
+	classes map[string][]int // certificate -> local ids, insertion order
+	certs   []string         // local id -> certificate
+	closed  bool
+
+	st         *store.Store // nil for an ephemeral index
+	compacting atomic.Bool
 }
 
 // GraphIndex is a canonical-certificate index over a collection of graphs
@@ -49,89 +76,198 @@ type IndexOptions struct {
 // for the on-disk contract), so a restart — even after kill -9 — reloads
 // the same id assignment.
 //
+// # Sharding
+//
+// The index is internally partitioned into IndexOptions.Shards
+// independently locked shards. A certificate is routed to its shard by a
+// hash of its bytes, so all graphs of one isomorphism class share a
+// shard and dedup stays exact; each shard owns its slice of the class
+// map plus — when durable — its own WAL segment and snapshot, compacted
+// independently. Ids encode the shard: id = localID·S + shardID, which
+// keeps them unique, stable across restarts, and monotone within a
+// shard. With Shards ≤ 1 the layout and ids are identical to the
+// pre-shard single-lock index.
+//
 // # Concurrency
 //
 // GraphIndex is safe for concurrent use. The contract, relied on by the
-// indexd daemon:
+// indexd daemon and the bulk-ingest pipeline:
 //
 //   - Certificate computation (the expensive DviCL build) runs *outside*
 //     any index lock: CanonicalCert is a pure function of the graph, so
 //     concurrent Adds and Lookups never serialize on it.
-//   - The internal mutex guards only the id/class maps and the WAL
-//     append, keeping the critical section O(1)-ish per operation and
-//     making WAL order always match id order.
-//   - Lookup takes only a read lock and may run concurrently with other
-//     Lookups; a Lookup racing an Add of an isomorphic graph may or may
-//     not see the new id, exactly like a map read racing a map write
-//     under an RWMutex.
-//   - Background compaction briefly takes the write lock to cut a
-//     consistent snapshot; Adds stall for the file write (bounded by
-//     index size), never deadlock.
+//   - Each shard's mutex guards only that shard's id/class maps and WAL
+//     append, keeping critical sections O(1)-ish per operation and
+//     making per-shard WAL order always match local id order. Adds to
+//     different shards do not contend at all.
+//   - Lookup takes only a read lock on one shard and may run concurrently
+//     with other Lookups; a Lookup racing an Add of an isomorphic graph
+//     may or may not see the new id, exactly like a map read racing a
+//     map write under an RWMutex.
+//   - Background compaction briefly takes one shard's write lock to cut
+//     a consistent snapshot of that shard; Adds to other shards proceed
+//     unimpeded.
 type GraphIndex struct {
-	mu      sync.RWMutex
-	classes map[string][]int // certificate -> ids, insertion order
-	certs   []string         // id -> certificate
-	closed  bool
+	shards []*indexShard
+	opt    Options
+	cache  *certCache // nil when disabled
 
-	opt   Options
-	cache *certCache // nil when disabled
-
-	// Persistence (nil st for an ephemeral index).
-	st           *store.Store
+	persistent   bool
 	compactEvery int
-	compacting   atomic.Bool
 	bg           sync.WaitGroup
+	closing      atomic.Bool
 
-	// Open-time recovery facts, surfaced in Stats.
+	// Open-time recovery facts, summed across shards, surfaced in Stats.
 	snapshotCerts  int
 	replayedAtOpen int
 	recoveredBytes int64
 }
 
-// NewGraphIndex returns an empty ephemeral (in-memory) index. opt
-// configures the underlying DviCL runs (zero value is fine). The
-// certificate cache is enabled at its default size.
+// shardOf routes a certificate to a shard number. FNV-1a over the
+// certificate bytes: stable across processes and builds (the assignment
+// must survive restarts, so runtime-seeded hashes are out), and cheap
+// relative to the DviCL build that produced the certificate. All members
+// of one isomorphism class share a certificate, hence a shard — the
+// property exact dedup depends on.
+func (ix *GraphIndex) shardOf(cert string) int {
+	if len(ix.shards) == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(cert); i++ {
+		h ^= uint64(cert[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(ix.shards)))
+}
+
+// globalID composes a shard-local id and shard number into the public id.
+func (ix *GraphIndex) globalID(shard, local int) int {
+	return local*len(ix.shards) + shard
+}
+
+func newShards(n int) []*indexShard {
+	shards := make([]*indexShard, n)
+	for i := range shards {
+		shards[i] = &indexShard{classes: make(map[string][]int)}
+	}
+	return shards
+}
+
+// NewGraphIndex returns an empty ephemeral (in-memory) single-shard
+// index. opt configures the underlying DviCL runs (zero value is fine).
+// The certificate cache is enabled at its default size.
 func NewGraphIndex(opt Options) *GraphIndex {
+	return NewShardedGraphIndex(opt, 1)
+}
+
+// NewShardedGraphIndex returns an empty ephemeral index partitioned into
+// shards independently locked shards (values < 1 mean 1). Use it when
+// many goroutines Add concurrently — e.g. the indexd bulk path on an
+// in-memory index.
+func NewShardedGraphIndex(opt Options, shards int) *GraphIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > store.MaxShards {
+		shards = store.MaxShards
+	}
 	return &GraphIndex{
-		classes: make(map[string][]int),
-		opt:     opt,
-		cache:   newCertCache(defaultCacheSize),
+		shards: newShards(shards),
+		opt:    opt,
+		cache:  newCertCache(defaultCacheSize, shards),
 	}
 }
 
 // OpenGraphIndex opens (creating if needed) a durable index rooted at
-// dir, replaying the snapshot and WAL found there. See IndexOptions for
-// the knobs and Stats for what was recovered. The caller must Close the
-// index to release the WAL and write a final snapshot.
+// dir, replaying the snapshot and WAL of every shard found there. See
+// IndexOptions for the knobs and Stats for what was recovered. The
+// caller must Close the index to release the WALs and write final
+// snapshots.
 func OpenGraphIndex(dir string, opt IndexOptions) (*GraphIndex, error) {
-	st, res, err := store.Open(dir, store.Options{Sync: opt.SyncWrites})
-	if err != nil {
+	nShards := opt.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > store.MaxShards {
+		return nil, fmt.Errorf("dvicl: %d shards exceeds limit %d", nShards, store.MaxShards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// The on-disk layout wins over the requested count: a manifest pins
+	// the shard count; a manifest-less directory with legacy index files
+	// is a single-shard index.
+	switch m, err := store.ReadManifest(dir); {
+	case err == nil:
+		nShards = m.Shards
+	case errors.Is(err, os.ErrNotExist):
+		if legacyIndexFiles(dir) {
+			nShards = 1
+		} else if nShards > 1 {
+			if err := store.WriteManifest(dir, store.Manifest{Version: store.Version, Shards: nShards}); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, err
+	}
+
 	ix := &GraphIndex{
-		classes:        make(map[string][]int, len(res.Certs)),
-		certs:          res.Certs,
-		opt:            opt.DviCL,
-		st:             st,
-		compactEvery:   opt.CompactEvery,
-		snapshotCerts:  res.SnapshotCerts,
-		replayedAtOpen: res.WALReplayed,
-		recoveredBytes: res.TornBytes,
+		shards:       newShards(nShards),
+		opt:          opt.DviCL,
+		persistent:   true,
+		compactEvery: opt.CompactEvery,
 	}
 	if ix.compactEvery == 0 {
 		ix.compactEvery = defaultCompactEvery
 	}
 	switch {
 	case opt.CacheSize > 0:
-		ix.cache = newCertCache(opt.CacheSize)
+		ix.cache = newCertCache(opt.CacheSize, nShards)
 	case opt.CacheSize == 0:
-		ix.cache = newCertCache(defaultCacheSize)
+		ix.cache = newCertCache(defaultCacheSize, nShards)
 	}
-	for id, cert := range ix.certs {
-		ix.classes[cert] = append(ix.classes[cert], id)
+
+	for i, sh := range ix.shards {
+		sdir := dir
+		if nShards > 1 {
+			sdir = filepath.Join(dir, store.ShardDir(i))
+		}
+		st, res, err := store.Open(sdir, store.Options{Sync: opt.SyncWrites})
+		if err != nil {
+			for _, prev := range ix.shards[:i] {
+				prev.st.Close()
+			}
+			return nil, fmt.Errorf("dvicl: shard %d: %w", i, err)
+		}
+		sh.st = st
+		sh.certs = res.Certs
+		sh.classes = make(map[string][]int, len(res.Certs))
+		for local, cert := range sh.certs {
+			sh.classes[cert] = append(sh.classes[cert], local)
+		}
+		ix.snapshotCerts += res.SnapshotCerts
+		ix.replayedAtOpen += res.WALReplayed
+		ix.recoveredBytes += res.TornBytes
 	}
-	ix.opt.Obs.Add(obs.WALReplayed, int64(res.WALReplayed))
+	ix.opt.Obs.Add(obs.WALReplayed, int64(ix.replayedAtOpen))
 	return ix, nil
+}
+
+// legacyIndexFiles reports whether dir holds a pre-manifest single-shard
+// index (index.snap or index.wal directly at the root).
+func legacyIndexFiles(dir string) bool {
+	for _, name := range []string{store.SnapshotName, store.WALName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Add inserts a graph and returns its id and whether an isomorphic graph
@@ -145,45 +281,65 @@ func (ix *GraphIndex) Add(g *Graph) (id int, duplicate bool, err error) {
 	span := rec.StartPhase(obs.PhaseIndexAdd)
 	defer span.End()
 
-	cert := ix.certOf(g) // outside the lock: pure, possibly expensive
+	cert := ix.certOf(g) // outside any lock: pure, possibly expensive
+	return ix.addCert(cert)
+}
 
-	ix.mu.Lock()
-	if ix.closed {
-		ix.mu.Unlock()
+// AddCert inserts a precomputed canonical certificate, exactly as if the
+// graph it certifies had been Added. It is the apply step of the bulk
+// pipeline, where certificates were already built by parallel workers;
+// normal callers use Add.
+func (ix *GraphIndex) AddCert(cert string) (id int, duplicate bool, err error) {
+	ix.opt.Obs.Inc(obs.IndexAdds)
+	return ix.addCert(cert)
+}
+
+func (ix *GraphIndex) addCert(cert string) (id int, duplicate bool, err error) {
+	rec := ix.opt.Obs
+	shardID := ix.shardOf(cert)
+	sh := ix.shards[shardID]
+
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return 0, false, ErrIndexClosed
 	}
-	if ix.st != nil {
+	if sh.st != nil {
 		wspan := rec.StartPhase(obs.PhaseWALAppend)
-		_, werr := ix.st.Append(cert)
+		_, werr := sh.st.Append(cert)
 		wspan.End()
 		if werr != nil {
-			ix.mu.Unlock()
+			sh.mu.Unlock()
 			return 0, false, werr
 		}
 		rec.Inc(obs.WALAppends)
 	}
-	id = len(ix.certs)
-	ix.certs = append(ix.certs, cert)
-	members := ix.classes[cert]
-	ix.classes[cert] = append(members, id)
-	needCompact := ix.st != nil && ix.compactEvery > 0 &&
-		ix.st.SinceSnapshot() >= ix.compactEvery
-	ix.mu.Unlock()
+	local := len(sh.certs)
+	sh.certs = append(sh.certs, cert)
+	members := sh.classes[cert]
+	sh.classes[cert] = append(members, local)
+	needCompact := sh.st != nil && ix.compactEvery > 0 &&
+		sh.st.SinceSnapshot() >= ix.compactEvery
+	sh.mu.Unlock()
 
-	if needCompact && ix.compacting.CompareAndSwap(false, true) {
+	duplicate = len(members) > 0
+	if duplicate {
+		rec.Inc(obs.IndexAddDuplicate)
+	}
+	if needCompact && sh.compacting.CompareAndSwap(false, true) {
 		ix.bg.Add(1)
 		go func() {
 			defer ix.bg.Done()
-			defer ix.compacting.Store(false)
-			_ = ix.Flush() // best effort; the WAL still holds everything
+			defer sh.compacting.Store(false)
+			_ = ix.flushShard(sh) // best effort; the WAL still holds everything
 		}()
 	}
-	return id, len(members) > 0, nil
+	return ix.globalID(shardID, local), duplicate, nil
 }
 
 // Lookup returns the ids of the stored graphs isomorphic to g. The
-// certificate is computed (or served from the cache) outside the lock;
-// only the class-map read is guarded.
+// certificate is computed (or served from the cache) outside any lock;
+// only one shard's class-map read is guarded.
 func (ix *GraphIndex) Lookup(g *Graph) []int {
 	rec := ix.opt.Obs
 	rec.Inc(obs.IndexLookups)
@@ -191,83 +347,126 @@ func (ix *GraphIndex) Lookup(g *Graph) []int {
 	defer span.End()
 
 	cert := ix.certOf(g)
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return append([]int(nil), ix.classes[cert]...)
+	shardID := ix.shardOf(cert)
+	sh := ix.shards[shardID]
+	sh.mu.RLock()
+	locals := sh.classes[cert]
+	ids := make([]int, len(locals))
+	for i, local := range locals {
+		ids[i] = ix.globalID(shardID, local)
+	}
+	sh.mu.RUnlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
 }
 
 // Len returns the number of stored graphs.
 func (ix *GraphIndex) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.certs)
+	n := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		n += len(sh.certs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Classes returns the number of distinct isomorphism classes stored.
 func (ix *GraphIndex) Classes() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.classes)
+	n := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		n += len(sh.classes)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Flush synchronously compacts the index: the full certificate list is
-// written as a new snapshot (atomic rename) and the WAL is reset. A no-op
-// on an ephemeral index.
+// Flush synchronously compacts the index: every shard's full certificate
+// list is written as a new snapshot (atomic rename) and its WAL is
+// reset. Shards are compacted one at a time, so concurrent Adds to other
+// shards proceed while each snapshot is cut. A no-op on an ephemeral
+// index.
 func (ix *GraphIndex) Flush() error {
-	if ix.st == nil {
+	if !ix.persistent {
 		return nil
 	}
+	for _, sh := range ix.shards {
+		if err := ix.flushShard(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushShard compacts one shard under its own lock.
+func (ix *GraphIndex) flushShard(sh *indexShard) error {
 	rec := ix.opt.Obs
 	span := rec.StartPhase(obs.PhaseSnapshot)
 	defer span.End()
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ix.closed {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
 		return ErrIndexClosed
 	}
-	return ix.flushLocked()
+	return ix.flushShardLocked(sh)
 }
 
-func (ix *GraphIndex) flushLocked() error {
-	if err := ix.st.Compact(ix.certs); err != nil {
+func (ix *GraphIndex) flushShardLocked(sh *indexShard) error {
+	if err := sh.st.Compact(sh.certs); err != nil {
 		return err
 	}
 	ix.opt.Obs.Inc(obs.SnapshotsWritten)
 	return nil
 }
 
-// Close flushes a final snapshot and releases the WAL. Further Adds,
-// Flushes and Closes return ErrIndexClosed (Close itself is idempotent).
-// A no-op on an ephemeral index.
+// Close flushes a final snapshot of every shard and releases the WALs.
+// Further Adds and Flushes return ErrIndexClosed (Close itself is
+// idempotent). A no-op on an ephemeral index.
 func (ix *GraphIndex) Close() error {
-	if ix.st == nil {
+	if !ix.persistent {
 		return nil
 	}
-	ix.mu.Lock()
-	if ix.closed {
-		ix.mu.Unlock()
+	if !ix.closing.CompareAndSwap(false, true) {
 		return nil
 	}
-	ix.closed = true
-	ix.mu.Unlock()
-
-	ix.bg.Wait() // drain any in-flight background compaction
-
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if err := ix.flushLocked(); err != nil {
-		ix.st.Close()
-		return err
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.mu.Unlock()
 	}
-	return ix.st.Close()
+	ix.bg.Wait() // drain in-flight background compactions
+
+	var firstErr error
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+		if err := ix.flushShardLocked(sh); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := sh.st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
 }
 
 // IndexStats is a point-in-time summary of a GraphIndex, serialized by
-// the indexd /stats endpoint.
+// the indexd /stats endpoint and the bulkload report.
 type IndexStats struct {
-	// Graphs and Classes count stored graphs and isomorphism classes.
-	Graphs  int `json:"graphs"`
-	Classes int `json:"classes"`
+	// Graphs and Classes count stored graphs and isomorphism classes;
+	// Duplicates = Graphs − Classes is the count of Adds collapsed onto
+	// an existing class (the dedup win).
+	Graphs     int `json:"graphs"`
+	Classes    int `json:"classes"`
+	Duplicates int `json:"duplicates"`
+
+	// Shard layout: ShardGraphs[i] is the number of graphs on shard i —
+	// the per-shard balance of the certificate hash routing.
+	Shards      int   `json:"shards"`
+	ShardGraphs []int `json:"shard_graphs,omitempty"`
 
 	// Certificate-cache effectiveness. Hits are Adds/Lookups that skipped
 	// the DviCL build entirely.
@@ -276,8 +475,8 @@ type IndexStats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 
 	// Persistence state. WALRecords is the append count since the last
-	// snapshot (the compaction pressure); the three recovery fields
-	// describe what OpenGraphIndex found on disk.
+	// snapshot summed across shards (the compaction pressure); the three
+	// recovery fields describe what OpenGraphIndex found on disk.
 	Persistent      bool  `json:"persistent"`
 	WALRecords      int   `json:"wal_records"`
 	SnapshotCerts   int   `json:"snapshot_certs"`
@@ -285,21 +484,33 @@ type IndexStats struct {
 	RecoveredBytes  int64 `json:"recovered_bytes"`
 }
 
-// Stats returns current index statistics.
+// Stats returns current index statistics. Shard counters are read one
+// shard at a time, so the totals are not a single consistent cut under
+// concurrent writes — fine for monitoring.
 func (ix *GraphIndex) Stats() IndexStats {
-	ix.mu.RLock()
 	s := IndexStats{
-		Graphs:          len(ix.certs),
-		Classes:         len(ix.classes),
-		Persistent:      ix.st != nil,
+		Persistent:      ix.persistent,
+		Shards:          len(ix.shards),
 		SnapshotCerts:   ix.snapshotCerts,
 		ReplayedRecords: ix.replayedAtOpen,
 		RecoveredBytes:  ix.recoveredBytes,
 	}
-	if ix.st != nil {
-		s.WALRecords = ix.st.SinceSnapshot()
+	if len(ix.shards) > 1 {
+		s.ShardGraphs = make([]int, len(ix.shards))
 	}
-	ix.mu.RUnlock()
+	for i, sh := range ix.shards {
+		sh.mu.RLock()
+		s.Graphs += len(sh.certs)
+		s.Classes += len(sh.classes)
+		if s.ShardGraphs != nil {
+			s.ShardGraphs[i] = len(sh.certs)
+		}
+		if sh.st != nil {
+			s.WALRecords += sh.st.SinceSnapshot()
+		}
+		sh.mu.RUnlock()
+	}
+	s.Duplicates = s.Graphs - s.Classes
 	if ix.cache != nil {
 		s.CacheEntries = ix.cache.len()
 		s.CacheHits = ix.cache.hits.Load()
@@ -308,11 +519,17 @@ func (ix *GraphIndex) Stats() IndexStats {
 	return s
 }
 
+// Certificate computes (or recalls from the LRU cache) the canonical
+// certificate of g under the index's DviCL options. Two graphs are
+// isomorphic iff their certificates are equal; AddCert accepts the
+// result. Pure with respect to the index — no locks taken.
+func (ix *GraphIndex) Certificate(g *Graph) string { return ix.certOf(g) }
+
 // certOf computes (or recalls) the canonical certificate of g. It runs
-// outside the index lock by design — see the Concurrency section of the
-// GraphIndex doc — and consults the LRU cache keyed by the exact labeled
-// graph (graph.Hash), so repeated presentations of the same graph skip
-// DviCL entirely.
+// outside the shard locks by design — see the Concurrency section of the
+// GraphIndex doc — and consults the striped LRU cache keyed by the exact
+// labeled graph (graph.Hash), so repeated presentations of the same
+// graph skip DviCL entirely.
 func (ix *GraphIndex) certOf(g *Graph) string {
 	if ix.cache == nil {
 		return string(CanonicalCert(g, nil, ix.opt))

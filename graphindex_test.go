@@ -167,7 +167,7 @@ func TestGraphIndexCacheHits(t *testing.T) {
 
 func TestGraphIndexCacheEviction(t *testing.T) {
 	ix := NewGraphIndex(Options{})
-	ix.cache = newCertCache(2)
+	ix.cache = newCertCache(2, 1)
 	gs := indexTestGraphs()[:4]
 	for _, g := range gs {
 		ix.Lookup(g)

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"bufio"
 	"strings"
 	"testing"
 )
@@ -55,6 +56,46 @@ func FuzzFromGraph6(f *testing.F) {
 		}
 		if !g.Equal(h) {
 			t.Fatal("graph6 round trip changed graph")
+		}
+	})
+}
+
+// FuzzGraph6Scanner: the incremental scanner must never panic, must
+// terminate, and — record by record — must agree with the whole-string
+// FromGraph6 parser: same error-ness, and on success the identical graph.
+func FuzzGraph6Scanner(f *testing.F) {
+	f.Add("A_\nD?{\n")
+	f.Add(">>graph6<<A_\n\nBw\n")
+	f.Add("~??")          // truncated extended-size header
+	f.Add("~~~~~~~~")     // n >= 2^18 marker, oversized
+	f.Add("\x00\x01\x02") // garbage bytes
+	f.Add("C\nC?\nC??\n") // truncated data sections
+	f.Fuzz(func(t *testing.T, in string) {
+		sc := NewGraph6Scanner(strings.NewReader(in))
+		records := 0
+		for sc.Scan() {
+			records++
+			if records > 1<<16 {
+				t.Fatal("scanner produced implausibly many records")
+			}
+			raw := sc.Text()
+			if raw == "" {
+				t.Fatal("Scan() = true but Text() empty")
+			}
+			if sc.Line() <= 0 {
+				t.Fatalf("Line() = %d on a scanned record", sc.Line())
+			}
+			g, err := sc.Graph()
+			g2, err2 := FromGraph6(raw)
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("scanner err %v, FromGraph6 err %v on %q", err, err2, raw)
+			}
+			if err == nil && !g.Equal(g2) {
+				t.Fatalf("scanner and FromGraph6 disagree on %q", raw)
+			}
+		}
+		if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+			t.Fatalf("unexpected scanner error: %v", err)
 		}
 	})
 }

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Incremental record scanners: the streaming decoders under the bulk
+// ingest pipeline (internal/pipeline, cmd/bulkload, indexd /bulk). Unlike
+// FromGraph6/ReadEdgeList — which consume one whole input — these walk a
+// multi-graph file record by record, holding at most one record in memory
+// at a time, so a multi-gigabyte collection streams through the pipeline
+// without ever being buffered.
+
+// maxScanLine bounds a single record line. A graph6 record for the
+// largest supported n (2^18−1) would not fit, but such graphs are far
+// beyond what bulk ingest canonicalizes per-record anyway; a longer line
+// surfaces as bufio.ErrTooLong through Err(), never as unbounded memory.
+const maxScanLine = 64 << 20
+
+// graph6Header is the optional file header emitted by nauty's tools.
+const graph6Header = ">>graph6<<"
+
+// Graph6Scanner reads a stream of graph6 records (one per line, the
+// format of nauty's .g6 files) incrementally. Blank lines are skipped and
+// an optional leading ">>graph6<<" header is recognized, whether it sits
+// on its own line or is glued to the first record.
+//
+// Usage mirrors bufio.Scanner:
+//
+//	sc := NewGraph6Scanner(r)
+//	for sc.Scan() {
+//		g, err := sc.Graph() // or: decode sc.Text() elsewhere
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Graph6Scanner struct {
+	sc    *bufio.Scanner
+	text  string
+	line  int
+	first bool
+}
+
+// NewGraph6Scanner returns a scanner over r.
+func NewGraph6Scanner(r io.Reader) *Graph6Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxScanLine)
+	return &Graph6Scanner{sc: sc, first: true}
+}
+
+// Scan advances to the next record, reporting false at EOF or on a read
+// error (distinguish via Err).
+func (s *Graph6Scanner) Scan() bool {
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if s.first {
+			s.first = false
+			text = strings.TrimPrefix(text, graph6Header)
+			text = strings.TrimSpace(text)
+		}
+		if text == "" {
+			continue
+		}
+		s.text = text
+		return true
+	}
+	s.text = ""
+	return false
+}
+
+// Text returns the raw graph6 record of the last Scan.
+func (s *Graph6Scanner) Text() string { return s.text }
+
+// Line returns the 1-based input line of the last Scan, for error
+// reporting.
+func (s *Graph6Scanner) Line() int { return s.line }
+
+// Graph decodes the current record.
+func (s *Graph6Scanner) Graph() (*Graph, error) { return FromGraph6(s.text) }
+
+// Err returns the first read error encountered (nil at clean EOF).
+func (s *Graph6Scanner) Err() error { return s.sc.Err() }
+
+// EdgeListScanner reads a stream of edge-list records incrementally. A
+// record is a maximal run of non-blank lines in the format ReadEdgeList
+// accepts ("u v" per line, '#'/'%' comments, optional "# n=<count>"
+// header); one or more blank lines separate records. A run consisting
+// only of comments (without an n-header) is skipped rather than decoded
+// as an empty graph, so trailing comment blocks are harmless.
+type EdgeListScanner struct {
+	sc        *bufio.Scanner
+	block     strings.Builder
+	text      string
+	line      int
+	startLine int
+	done      bool
+}
+
+// NewEdgeListScanner returns a scanner over r.
+func NewEdgeListScanner(r io.Reader) *EdgeListScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxScanLine)
+	return &EdgeListScanner{sc: sc}
+}
+
+// Scan advances to the next record, reporting false at EOF or on a read
+// error (distinguish via Err).
+func (s *EdgeListScanner) Scan() bool {
+	for !s.done {
+		s.block.Reset()
+		start := 0
+		meaningful := false
+		for {
+			if !s.sc.Scan() {
+				s.done = true
+				break
+			}
+			s.line++
+			text := strings.TrimSpace(s.sc.Text())
+			if text == "" {
+				if s.block.Len() > 0 {
+					break // record boundary
+				}
+				continue // leading blank lines
+			}
+			if s.block.Len() == 0 {
+				start = s.line
+			}
+			s.block.WriteString(text)
+			s.block.WriteByte('\n')
+			if text[0] != '#' && text[0] != '%' {
+				meaningful = true
+			} else if strings.HasPrefix(text, "# n=") {
+				meaningful = true
+			}
+		}
+		if s.block.Len() > 0 && meaningful {
+			s.text = s.block.String()
+			s.startLine = start
+			return true
+		}
+		// comment-only block (or EOF with nothing buffered): keep going
+		if s.done {
+			s.text = ""
+			return false
+		}
+	}
+	s.text = ""
+	return false
+}
+
+// Text returns the raw lines of the current record (newline-joined).
+func (s *EdgeListScanner) Text() string { return s.text }
+
+// Line returns the 1-based input line the current record starts on.
+func (s *EdgeListScanner) Line() int { return s.startLine }
+
+// Graph decodes the current record.
+func (s *EdgeListScanner) Graph() (*Graph, error) {
+	return ReadEdgeList(strings.NewReader(s.text))
+}
+
+// Err returns the first read error encountered (nil at clean EOF).
+func (s *EdgeListScanner) Err() error { return s.sc.Err() }

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func g6(t *testing.T, g *Graph) string {
+	t.Helper()
+	s, err := ToGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGraph6ScannerRecords(t *testing.T) {
+	c4 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	p3 := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	k1 := FromEdges(1, nil)
+	want := []*Graph{c4, p3, k1}
+
+	in := ">>graph6<<" + g6(t, c4) + "\n\n" + g6(t, p3) + "\n \n" + g6(t, k1) + "\n"
+	sc := NewGraph6Scanner(strings.NewReader(in))
+	var got []*Graph
+	var lines []int
+	for sc.Scan() {
+		g, err := sc.Graph()
+		if err != nil {
+			t.Fatalf("line %d: %v", sc.Line(), err)
+		}
+		got = append(got, g)
+		lines = append(lines, sc.Line())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("record %d differs from source graph", i)
+		}
+	}
+	if lines[0] != 1 || lines[1] != 3 || lines[2] != 5 {
+		t.Fatalf("record lines = %v", lines)
+	}
+}
+
+func TestGraph6ScannerHeaderOnOwnLine(t *testing.T) {
+	p3 := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	in := ">>graph6<<\n" + g6(t, p3) + "\n"
+	sc := NewGraph6Scanner(strings.NewReader(in))
+	n := 0
+	for sc.Scan() {
+		if _, err := sc.Graph(); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scanned %d records, want 1", n)
+	}
+}
+
+func TestGraph6ScannerBadRecordReportsPerRecord(t *testing.T) {
+	p3 := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	in := g6(t, p3) + "\n~~~\n" + g6(t, p3) + "\n"
+	sc := NewGraph6Scanner(strings.NewReader(in))
+	var errs, oks int
+	for sc.Scan() {
+		if _, err := sc.Graph(); err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if oks != 2 || errs != 1 {
+		t.Fatalf("oks=%d errs=%d, want 2/1", oks, errs)
+	}
+}
+
+func TestGraph6ScannerEmptyInput(t *testing.T) {
+	for _, in := range []string{"", "\n\n", ">>graph6<<\n"} {
+		sc := NewGraph6Scanner(strings.NewReader(in))
+		if sc.Scan() {
+			t.Fatalf("Scan() = true on %q", in)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("Err() = %v on %q", err, in)
+		}
+	}
+}
+
+func TestEdgeListScannerRecords(t *testing.T) {
+	in := `# leading comment block
+
+0 1
+1 2
+
+# n=4
+0 1
+2 3
+
+
+% another comment only
+
+
+
+5 6
+6 7
+`
+	sc := NewEdgeListScanner(strings.NewReader(in))
+	var got []*Graph
+	var lines []int
+	for sc.Scan() {
+		g, err := sc.Graph()
+		if err != nil {
+			t.Fatalf("record at line %d: %v", sc.Line(), err)
+		}
+		got = append(got, g)
+		lines = append(lines, sc.Line())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("scanned %d records, want 3", len(got))
+	}
+	if got[0].N() != 3 || got[0].M() != 2 {
+		t.Fatalf("record 0: n=%d m=%d", got[0].N(), got[0].M())
+	}
+	// The "# n=4" header fixes the vertex count (isolated vertices kept).
+	if got[1].N() != 4 || got[1].M() != 2 {
+		t.Fatalf("record 1: n=%d m=%d", got[1].N(), got[1].M())
+	}
+	if got[2].N() != 3 || got[2].M() != 2 {
+		t.Fatalf("record 2: n=%d m=%d", got[2].N(), got[2].M())
+	}
+	if lines[0] != 3 || lines[1] != 6 {
+		t.Fatalf("record start lines = %v", lines)
+	}
+}
+
+func TestEdgeListScannerEmptyAndCommentOnly(t *testing.T) {
+	for _, in := range []string{"", "\n \n", "# only comments\n% more\n"} {
+		sc := NewEdgeListScanner(strings.NewReader(in))
+		if sc.Scan() {
+			t.Fatalf("Scan() = true on %q", in)
+		}
+	}
+}
+
+func TestEdgeListScannerBadRecord(t *testing.T) {
+	in := "0 1\n\nnot numbers\n\n2 3\n"
+	sc := NewEdgeListScanner(strings.NewReader(in))
+	var errs, oks int
+	for sc.Scan() {
+		if _, err := sc.Graph(); err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if oks != 2 || errs != 1 {
+		t.Fatalf("oks=%d errs=%d, want 2/1", oks, errs)
+	}
+}

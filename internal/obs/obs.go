@@ -25,19 +25,19 @@ type Counter int
 // The counter set, grouped by the pipeline layer that reports it.
 const (
 	// internal/coloring — equitable refinement (1-WL).
-	RefineCalls   Counter = iota // trace hashes computed (one per Refine)
-	RefineRounds                 // splitter cells processed off the worklist
-	CellSplits                   // new cell fragments created by splitting
+	RefineCalls  Counter = iota // trace hashes computed (one per Refine)
+	RefineRounds                // splitter cells processed off the worklist
+	CellSplits                  // new cell fragments created by splitting
 
 	// internal/canon — individualization–refinement search.
-	SearchNodes        // search-tree nodes visited
-	SearchLeaves       // discrete colorings (leaves) reached
-	PruneFirstPath     // P_A hits: subtree cut by the first-path invariant
-	PruneBestPath      // P_B hits: subtree cut by the best-path invariant
-	PruneOrbit         // P_C hits: candidate cut by orbit pruning
-	Automorphisms      // distinct non-identity generators discovered
-	Backjumps          // bliss-style automorphism backjumps taken
-	Truncations        // searches aborted by MaxNodes or Deadline
+	SearchNodes    // search-tree nodes visited
+	SearchLeaves   // discrete colorings (leaves) reached
+	PruneFirstPath // P_A hits: subtree cut by the first-path invariant
+	PruneBestPath  // P_B hits: subtree cut by the best-path invariant
+	PruneOrbit     // P_C hits: candidate cut by orbit pruning
+	Automorphisms  // distinct non-identity generators discovered
+	Backjumps      // bliss-style automorphism backjumps taken
+	Truncations    // searches aborted by MaxNodes or Deadline
 
 	// internal/core — DviCL divide & combine.
 	DivideICalls       // DivideI attempts (Algorithm 2)
@@ -65,6 +65,11 @@ const (
 	HTTPRequests  // requests received (all endpoints)
 	HTTPErrors    // responses with status >= 400
 	HTTPThrottled // 503s issued by the concurrency limiter
+
+	// internal/pipeline + GraphIndex — the bulk-ingest layer.
+	IndexAddDuplicate // Adds that hit an existing isomorphism class
+	BulkRecords       // records read from a bulk-ingest stream
+	BulkDecodeErrors  // bulk records rejected by the decoder
 
 	numCounters
 )
@@ -100,6 +105,9 @@ var counterNames = [numCounters]string{
 	HTTPRequests:       "http_requests",
 	HTTPErrors:         "http_errors",
 	HTTPThrottled:      "http_throttled",
+	IndexAddDuplicate:  "index_add_duplicate",
+	BulkRecords:        "bulk_records",
+	BulkDecodeErrors:   "bulk_decode_errors",
 }
 
 // String returns the counter's snake_case metric name.
@@ -131,24 +139,26 @@ const (
 	PhaseWALAppend   // one WAL record write (+ fsync when -sync)
 	PhaseSnapshot    // one snapshot compaction
 	PhaseHTTP        // one HTTP request, end to end
+	PhaseBulkIngest  // one bulk-ingest pipeline run (stream → shards)
 
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	PhaseBuild:     "build",
-	PhaseRefine:    "refine",
-	PhaseTwins:     "twins",
-	PhaseDivideI:   "divide_i",
-	PhaseDivideS:   "divide_s",
-	PhaseCombineCL: "combine_cl",
-	PhaseCombineST: "combine_st",
-	PhaseSSMQuery:  "ssm_query",
+	PhaseBuild:       "build",
+	PhaseRefine:      "refine",
+	PhaseTwins:       "twins",
+	PhaseDivideI:     "divide_i",
+	PhaseDivideS:     "divide_s",
+	PhaseCombineCL:   "combine_cl",
+	PhaseCombineST:   "combine_st",
+	PhaseSSMQuery:    "ssm_query",
 	PhaseIndexAdd:    "index_add",
 	PhaseIndexLookup: "index_lookup",
 	PhaseWALAppend:   "wal_append",
 	PhaseSnapshot:    "snapshot",
 	PhaseHTTP:        "http_request",
+	PhaseBulkIngest:  "bulk_ingest",
 }
 
 // String returns the phase's snake_case metric name.
@@ -271,6 +281,60 @@ func (s Span) End() {
 		return
 	}
 	s.r.timers[s.phase].observe(int64(time.Since(s.start)))
+}
+
+// Merge folds every counter and timer of src into r. It is how the bulk
+// pipeline aggregates per-worker recorders on completion: each worker
+// records into a private Recorder (no cross-core contention on the hot
+// path), and the pipeline merges them into the shared one when the worker
+// drains. Merging a nil src, or merging into a nil r, is a no-op. Safe
+// for concurrent use, though src should be quiescent for the merge to be
+// a consistent cut.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	for i := range src.counters {
+		if v := src.counters[i].Load(); v != 0 {
+			r.counters[i].Add(v)
+		}
+	}
+	for i := range src.timers {
+		st, dt := &src.timers[i], &r.timers[i]
+		n := st.count.Load()
+		if n == 0 {
+			continue
+		}
+		dt.count.Add(n)
+		dt.sumNs.Add(st.sumNs.Load())
+		if m := st.minNs.Load(); m != 0 {
+			for {
+				cur := dt.minNs.Load()
+				if cur != 0 && cur <= m {
+					break
+				}
+				if dt.minNs.CompareAndSwap(cur, m) {
+					break
+				}
+			}
+		}
+		if m := st.maxNs.Load(); m != 0 {
+			for {
+				cur := dt.maxNs.Load()
+				if cur >= m {
+					break
+				}
+				if dt.maxNs.CompareAndSwap(cur, m) {
+					break
+				}
+			}
+		}
+		for j := range st.buckets {
+			if c := st.buckets[j].Load(); c != 0 {
+				dt.buckets[j].Add(c)
+			}
+		}
+	}
 }
 
 // Reset zeroes every counter and timer.

@@ -214,3 +214,48 @@ func ExampleRecorder() {
 	fmt.Println(r.Counter(DivideICalls))
 	// Output: 1
 }
+
+func TestRecorderMerge(t *testing.T) {
+	var dst, a, b *Recorder
+	dst = New()
+	a, b = New(), New()
+	a.Add(BulkRecords, 10)
+	a.ObservePhase(PhaseBulkIngest, 4*time.Microsecond)
+	a.ObservePhase(PhaseBulkIngest, 16*time.Microsecond)
+	b.Add(BulkRecords, 5)
+	b.Inc(IndexAddDuplicate)
+	b.ObservePhase(PhaseBulkIngest, 2*time.Microsecond)
+
+	dst.Merge(a)
+	dst.Merge(b)
+	dst.Merge(nil)            // no-op
+	(*Recorder)(nil).Merge(a) // no-op
+
+	if got := dst.Counter(BulkRecords); got != 15 {
+		t.Fatalf("merged bulk_records = %d, want 15", got)
+	}
+	if got := dst.Counter(IndexAddDuplicate); got != 1 {
+		t.Fatalf("merged index_add_duplicate = %d, want 1", got)
+	}
+	ps, ok := dst.Snapshot().Phases[PhaseBulkIngest.String()]
+	if !ok {
+		t.Fatal("merged snapshot missing bulk_ingest phase")
+	}
+	if ps.Count != 3 {
+		t.Fatalf("merged phase count = %d, want 3", ps.Count)
+	}
+	wantTotal := int64(22 * time.Microsecond)
+	if ps.TotalNs != wantTotal {
+		t.Fatalf("merged phase total = %d, want %d", ps.TotalNs, wantTotal)
+	}
+	if ps.MinNs != int64(2*time.Microsecond) || ps.MaxNs != int64(16*time.Microsecond) {
+		t.Fatalf("merged min/max = %d/%d", ps.MinNs, ps.MaxNs)
+	}
+	var bucketSum int64
+	for _, bk := range ps.Buckets {
+		bucketSum += bk.Count
+	}
+	if bucketSum != 3 {
+		t.Fatalf("merged buckets sum to %d, want 3", bucketSum)
+	}
+}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Sharded index layout. A single-shard index keeps the original PR 2
+// layout — index.snap and index.wal directly in the root directory, no
+// manifest — so every pre-shard directory stays readable. A sharded index
+// root instead holds a manifest plus one subdirectory per shard, each an
+// independent snapshot+WAL pair:
+//
+//	index.manifest          {"version":1,"shards":16}
+//	shard-000/index.snap
+//	shard-000/index.wal
+//	shard-001/…
+//
+// The manifest is the source of truth for the shard count: it is written
+// once at creation (atomic tmp+rename, like snapshots) and never changes,
+// so reopening with a different -shards flag adopts the on-disk count
+// instead of sharding certificates inconsistently.
+
+// ManifestName is the shard-layout manifest file inside an index root.
+const ManifestName = "index.manifest"
+
+// MaxShards bounds the shard count a manifest may declare; beyond it a
+// manifest is treated as corrupt rather than obeyed.
+const MaxShards = 4096
+
+// Manifest describes a sharded index root.
+type Manifest struct {
+	Version uint16 `json:"version"`
+	Shards  int    `json:"shards"`
+}
+
+// ShardDir returns the subdirectory name of shard i ("shard-007").
+func ShardDir(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// ReadManifest loads and validates dir's manifest. A missing manifest
+// returns an error matching os.ErrNotExist (the single-shard layout).
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("store: %s: %v: %w", ManifestName, err, ErrChecksum)
+	}
+	if m.Version != Version {
+		return m, &VersionError{File: ManifestName, Got: m.Version, Want: Version}
+	}
+	if m.Shards < 1 || m.Shards > MaxShards {
+		return m, fmt.Errorf("store: %s: implausible shard count %d: %w", ManifestName, m.Shards, ErrChecksum)
+	}
+	return m, nil
+}
+
+// WriteManifest creates dir's manifest via a temporary file, fsync, and
+// atomic rename, so a crash mid-creation never leaves a torn manifest.
+func WriteManifest(dir string, m Manifest) (err error) {
+	if m.Shards < 1 || m.Shards > MaxShards {
+		return fmt.Errorf("store: manifest shard count %d out of range [1,%d]", m.Shards, MaxShards)
+	}
+	if m.Version == 0 {
+		m.Version = Version
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

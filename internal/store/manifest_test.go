@@ -1,0 +1,58 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	if err := WriteManifest(dir, Manifest{Shards: 16}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 16 || m.Version != Version {
+		t.Fatalf("manifest = %+v", m)
+	}
+}
+
+func TestManifestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ManifestName)
+	for _, body := range []string{
+		"not json",
+		`{"version":1,"shards":0}`,
+		`{"version":1,"shards":999999}`,
+	} {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(dir); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("body %q: err = %v, want ErrChecksum", body, err)
+		}
+	}
+	if err := os.WriteFile(path, []byte(`{"version":99,"shards":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ve *VersionError
+	if _, err := ReadManifest(dir); !errors.As(err, &ve) {
+		t.Fatalf("future version: err = %v, want VersionError", err)
+	}
+}
+
+func TestShardDir(t *testing.T) {
+	if got := ShardDir(7); got != "shard-007" {
+		t.Fatalf("ShardDir(7) = %q", got)
+	}
+	if got := ShardDir(123); got != "shard-123" {
+		t.Fatalf("ShardDir(123) = %q", got)
+	}
+}
