@@ -28,15 +28,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"dvicl"
 	"dvicl/internal/graph"
@@ -97,14 +100,22 @@ func main() {
 		ix = dvicl.NewShardedGraphIndex(opt, *shards)
 	}
 
+	// SIGINT/SIGTERM cancel the run: in-flight builds abort at their next
+	// cancellation checkpoint, the partial report is still written, and
+	// the index is closed cleanly — everything acknowledged is on disk.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var applied int64
 	rep, runErr := pipeline.Run(pipeline.Config{
+		Ctx:     ctx,
 		Workers: *workers,
 		Decode:  decoder(*format, *in),
-		Canon: func(g *graph.Graph, wrec *obs.Recorder) string {
+		Canon: func(ctx context.Context, g *graph.Graph, wrec *obs.Recorder) (string, error) {
 			o := opt
 			o.Obs = wrec
-			return string(dvicl.CanonicalCert(g, nil, o))
+			cert, err := dvicl.CanonicalCertCtx(ctx, g, nil, o)
+			return string(cert), err
 		},
 		Apply: func(seq int64, cert string) error {
 			if _, _, err := ix.AddCert(cert); err != nil {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dvicl"
+	"dvicl/internal/obs"
+)
+
+// newCancelTestServer returns a server whose handlers are invoked
+// directly, below the TimeoutHandler: in production the TimeoutHandler
+// (or a client disconnect) cancels the request context and races the
+// handler for the response writer, so the typed 503 body is asserted
+// here at the layer that produces it.
+func newCancelTestServer() (*server, *dvicl.MetricsRecorder, *dvicl.GraphIndex) {
+	rec := dvicl.NewMetricsRecorder()
+	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
+	return newServer(ix, rec, 8, 1<<20, 0, 0), rec, ix
+}
+
+// TestCanceledRequestIs503 drives /add and /lookup with a request whose
+// context is already canceled — the state a client disconnect or an
+// expired request deadline leaves behind mid-canonicalization — and
+// requires the JSON 503 plus the index_canceled counter.
+func TestCanceledRequestIs503(t *testing.T) {
+	srv, rec, ix := newCancelTestServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	handlers := []struct {
+		name string
+		h    http.HandlerFunc
+	}{
+		{"/add", srv.limited(srv.handleAdd)},
+		{"/lookup", srv.limited(srv.handleLookup)},
+	}
+	for i, tc := range handlers {
+		req := httptest.NewRequest("POST", tc.name, strings.NewReader(c4Body)).WithContext(ctx)
+		w := httptest.NewRecorder()
+		tc.h(w, req)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status = %d, want 503", tc.name, w.Code)
+		}
+		var e errResp
+		if err := json.NewDecoder(w.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: non-JSON 503 body: %v", tc.name, err)
+		}
+		if e.Error != "request canceled" {
+			t.Fatalf("%s: error = %q", tc.name, e.Error)
+		}
+		if got := rec.Counter(obs.IndexCanceled); got != int64(i+1) {
+			t.Fatalf("%s: index_canceled = %d, want %d", tc.name, got, i+1)
+		}
+	}
+
+	// The index must be untouched by the shed requests, and the error
+	// counter must have seen both 503s.
+	if ix.Len() != 0 {
+		t.Fatalf("canceled adds reached the index: len = %d", ix.Len())
+	}
+	if got := rec.Counter(obs.HTTPErrors); got != 2 {
+		t.Fatalf("http_errors = %d, want 2", got)
+	}
+
+	// A healthy request still works afterwards (a canceled build caches
+	// and stores nothing).
+	req := httptest.NewRequest("POST", "/add", strings.NewReader(c4Body))
+	w := httptest.NewRecorder()
+	srv.limited(srv.handleAdd)(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthy add after shed requests: status = %d", w.Code)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("index len = %d after healthy add", ix.Len())
+	}
+}
+
+// TestCanceledBatchIs503: cancellation mid-batch sheds the whole
+// request rather than erroring op by op.
+func TestCanceledBatchIs503(t *testing.T) {
+	srv, rec, _ := newCancelTestServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	body := `{"ops":[{"op":"add",` + c4Body[1:] + `]}`
+	req := httptest.NewRequest("POST", "/batch", strings.NewReader(body)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	srv.limited(srv.handleBatch)(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", w.Code, w.Body.String())
+	}
+	if got := rec.Counter(obs.IndexCanceled); got != 1 {
+		t.Fatalf("index_canceled = %d, want 1", got)
+	}
+}

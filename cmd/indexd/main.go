@@ -8,8 +8,8 @@
 //
 //	indexd [-addr :7171] [-data dir] [-shards n] [-sync] [-cache n]
 //	       [-compact-every n] [-max-inflight n] [-max-verts n]
-//	       [-max-body-bytes n] [-timeout d] [-workers n] [-bulk-workers n]
-//	       [-metrics-json out.json] [-debug-addr :6060]
+//	       [-max-body-bytes n] [-timeout d] [-build-timeout d] [-workers n]
+//	       [-bulk-workers n] [-metrics-json out.json] [-debug-addr :6060]
 //
 // Endpoints (JSON; see docs/OPERATIONS.md for curl examples):
 //
@@ -60,6 +60,7 @@ func main() {
 	maxVerts := flag.Int("max-verts", 1<<20, "reject graphs with more vertices than this")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "reject JSON request bodies larger than this with 413 (0 = default 32 MiB)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	buildTimeout := flag.Duration("build-timeout", 0, "hard wall-clock bound on a single certificate build (0 = bounded only by -timeout)")
 	workers := flag.Int("workers", 0, "parallel subtree builders per certificate build (0 = sequential)")
 	bulkWorkers := flag.Int("bulk-workers", 0, "parallel canonicalization workers for /bulk (0 = NumCPU)")
 	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file on shutdown")
@@ -68,7 +69,7 @@ func main() {
 
 	rec := dvicl.NewMetricsRecorder()
 	opt := dvicl.IndexOptions{
-		DviCL:        dvicl.Options{Workers: *workers, Obs: rec},
+		DviCL:        dvicl.Options{Workers: *workers, Obs: rec, Budget: dvicl.Budget{BuildTimeout: *buildTimeout}},
 		CacheSize:    *cache,
 		SyncWrites:   *sync,
 		CompactEvery: *compactEvery,
@@ -100,6 +101,7 @@ func main() {
 	}
 
 	srv := newServer(ix, rec, *maxInflight, *maxVerts, *maxBodyBytes, *bulkWorkers)
+	srv.buildOpt = opt.DviCL
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("indexd: listen %s: %v", *addr, err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +94,7 @@ type server struct {
 	maxVerts     int
 	maxBodyBytes int64
 	bulkWorkers  int
+	buildOpt     dvicl.Options // per-build options (Budget, Workers) for /bulk canonicalization
 	start        time.Time
 }
 
@@ -176,6 +178,30 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// buildError maps a certificate-build error onto an HTTP response,
+// reporting whether there was one to handle. A canceled build (client
+// disconnect, or the TimeoutHandler expiring the request context
+// mid-canonicalization) and an exhausted build budget are 503s — the
+// request was shed, not malformed; cancellations also bump
+// index_canceled so load shedding is visible in /stats.
+func (s *server) buildError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, dvicl.ErrCanceled):
+		s.rec.Inc(obs.IndexCanceled)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: "request canceled"})
+	case errors.Is(err, dvicl.ErrBudgetExceeded):
+		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: "build budget exceeded"})
+	case errors.Is(err, dvicl.ErrIndexClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errResp{Error: err.Error()})
+	}
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -236,13 +262,8 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
 		return
 	}
-	id, dup, err := s.ix.Add(g)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, dvicl.ErrIndexClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, errResp{Error: err.Error()})
+	id, dup, err := s.ix.AddCtx(r.Context(), g)
+	if s.buildError(w, err) {
 		return
 	}
 	writeJSON(w, http.StatusOK, addResp{ID: id, Duplicate: dup})
@@ -258,7 +279,10 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
 		return
 	}
-	ids := s.ix.Lookup(g)
+	ids, err := s.ix.LookupCtx(r.Context(), g)
+	if s.buildError(w, err) {
+		return
+	}
 	if ids == nil {
 		ids = []int{}
 	}
@@ -286,14 +310,28 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		switch op.Op {
 		case "add":
-			id, dup, err := s.ix.Add(g)
+			id, dup, err := s.ix.AddCtx(r.Context(), g)
 			if err != nil {
+				// A canceled/over-budget request is dead as a whole, not
+				// per-op: stop burning CPU on the remaining ops.
+				if errors.Is(err, dvicl.ErrCanceled) || errors.Is(err, dvicl.ErrBudgetExceeded) {
+					s.buildError(w, err)
+					return
+				}
 				res.Error = err.Error()
 				continue
 			}
 			res.ID, res.Duplicate = &id, &dup
 		case "lookup":
-			ids := s.ix.Lookup(g)
+			ids, err := s.ix.LookupCtx(r.Context(), g)
+			if err != nil {
+				if errors.Is(err, dvicl.ErrCanceled) || errors.Is(err, dvicl.ErrBudgetExceeded) {
+					s.buildError(w, err)
+					return
+				}
+				res.Error = err.Error()
+				continue
+			}
 			if ids == nil {
 				ids = []int{}
 			}
@@ -343,10 +381,14 @@ func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		defer func() { <-s.sem }()
 		rep, err := pipeline.Run(pipeline.Config{
+			Ctx:     r.Context(),
 			Workers: s.bulkWorkers,
 			Decode:  decode,
-			Canon: func(g *dvicl.Graph, wrec *dvicl.MetricsRecorder) string {
-				return string(dvicl.CanonicalCert(g, nil, dvicl.Options{Obs: wrec}))
+			Canon: func(ctx context.Context, g *dvicl.Graph, wrec *dvicl.MetricsRecorder) (string, error) {
+				o := s.buildOpt
+				o.Obs = wrec
+				cert, err := dvicl.CanonicalCertCtx(ctx, g, nil, o)
+				return string(cert), err
 			},
 			Apply: func(seq int64, cert string) error {
 				_, dup, err := s.ix.AddCert(cert)
@@ -372,7 +414,11 @@ func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(err, dvicl.ErrIndexClosed) {
+			switch {
+			case errors.Is(err, dvicl.ErrCanceled):
+				s.rec.Inc(obs.IndexCanceled)
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, dvicl.ErrBudgetExceeded), errors.Is(err, dvicl.ErrIndexClosed):
 				status = http.StatusServiceUnavailable
 			}
 			return status, err

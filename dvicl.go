@@ -28,6 +28,7 @@ package dvicl
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/big"
 
@@ -35,6 +36,7 @@ import (
 	"dvicl/internal/clique"
 	"dvicl/internal/coloring"
 	"dvicl/internal/core"
+	"dvicl/internal/engine"
 	"dvicl/internal/gen"
 	"dvicl/internal/graph"
 	"dvicl/internal/group"
@@ -66,9 +68,27 @@ type AutoTreeNode = core.Node
 // AutoTreeStats summarizes an AutoTree (Tables 3 and 4 of the paper).
 type AutoTreeStats = core.Stats
 
-// Options configures DviCL (the leaf engine and the Section 6.1 twin
-// optimization).
+// Options configures DviCL (the leaf engine, the resource Budget and the
+// Section 6.1 twin optimization).
 type Options = core.Options
+
+// Budget bounds a build end to end: a whole-build deadline and node cap
+// (hard — the Ctx entry points return ErrBudgetExceeded) composed with
+// per-leaf bounds (soft — Tree.Truncated). Set it in Options.Budget.
+type Budget = engine.Budget
+
+// InternalError reports a broken internal invariant as a value instead
+// of a panic; the Ctx entry points return it so one pathological input
+// cannot kill a serving process.
+type InternalError = engine.InternalError
+
+// ErrCanceled is returned by the Ctx entry points when the caller's
+// context is canceled mid-build or mid-query.
+var ErrCanceled = engine.ErrCanceled
+
+// ErrBudgetExceeded is returned by the Ctx entry points when the build
+// exhausts its Budget (whole-build deadline or search-node cap).
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
 
 // BaselineOptions configures the individualization–refinement baseline.
 type BaselineOptions = canon.Options
@@ -155,11 +175,30 @@ func BuildAutoTree(g *Graph, pi *Coloring, opt Options) *AutoTree {
 	return core.Build(g, pi, opt)
 }
 
+// BuildAutoTreeCtx is BuildAutoTree under a context and the Options
+// budget: the build polls ctx from the tree recursion down to the
+// refinement and leaf-search hot loops, returning ErrCanceled /
+// ErrBudgetExceeded within milliseconds of the bound firing, or an
+// *InternalError if a structural invariant breaks.
+func BuildAutoTreeCtx(ctx context.Context, g *Graph, pi *Coloring, opt Options) (*AutoTree, error) {
+	return core.BuildCtx(ctx, g, pi, opt)
+}
+
 // CanonicalCert returns DviCL's canonical certificate of (g, pi): two
 // colored graphs are isomorphic iff their certificates are equal
 // (Theorem 6.9).
 func CanonicalCert(g *Graph, pi *Coloring, opt Options) []byte {
 	return core.Build(g, pi, opt).CanonicalCert()
+}
+
+// CanonicalCertCtx is CanonicalCert under a context and the Options
+// budget (see BuildAutoTreeCtx).
+func CanonicalCertCtx(ctx context.Context, g *Graph, pi *Coloring, opt Options) ([]byte, error) {
+	t, err := core.BuildCtx(ctx, g, pi, opt)
+	if err != nil {
+		return nil, err
+	}
+	return t.CanonicalCert(), nil
 }
 
 // Isomorphic reports whether g1 and g2 are isomorphic (unit colorings).

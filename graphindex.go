@@ -1,6 +1,7 @@
 package dvicl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -276,12 +277,24 @@ func legacyIndexFiles(dir string) bool {
 // error is non-nil exactly when the record could not be persisted, in
 // which case the in-memory index is unchanged.
 func (ix *GraphIndex) Add(g *Graph) (id int, duplicate bool, err error) {
+	return ix.AddCtx(context.Background(), g)
+}
+
+// AddCtx is Add with a context bounding the certificate build: if ctx is
+// canceled (or the index's Budget is exhausted) mid-canonicalization, the
+// build stops promptly and AddCtx returns ErrCanceled/ErrBudgetExceeded
+// with the index unchanged. The shard insert itself is not cancelable —
+// once the certificate exists the insert is O(1) plus a WAL append.
+func (ix *GraphIndex) AddCtx(ctx context.Context, g *Graph) (id int, duplicate bool, err error) {
 	rec := ix.opt.Obs
 	rec.Inc(obs.IndexAdds)
 	span := rec.StartPhase(obs.PhaseIndexAdd)
 	defer span.End()
 
-	cert := ix.certOf(g) // outside any lock: pure, possibly expensive
+	cert, err := ix.certOfCtx(ctx, g) // outside any lock: pure, possibly expensive
+	if err != nil {
+		return 0, false, err
+	}
 	return ix.addCert(cert)
 }
 
@@ -341,12 +354,23 @@ func (ix *GraphIndex) addCert(cert string) (id int, duplicate bool, err error) {
 // certificate is computed (or served from the cache) outside any lock;
 // only one shard's class-map read is guarded.
 func (ix *GraphIndex) Lookup(g *Graph) []int {
+	ids, _ := ix.LookupCtx(context.Background(), g)
+	return ids
+}
+
+// LookupCtx is Lookup with a context bounding the certificate build; on
+// cancellation or budget exhaustion it returns a nil slice and the typed
+// error.
+func (ix *GraphIndex) LookupCtx(ctx context.Context, g *Graph) ([]int, error) {
 	rec := ix.opt.Obs
 	rec.Inc(obs.IndexLookups)
 	span := rec.StartPhase(obs.PhaseIndexLookup)
 	defer span.End()
 
-	cert := ix.certOf(g)
+	cert, err := ix.certOfCtx(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	shardID := ix.shardOf(cert)
 	sh := ix.shards[shardID]
 	sh.mu.RLock()
@@ -357,9 +381,9 @@ func (ix *GraphIndex) Lookup(g *Graph) []int {
 	}
 	sh.mu.RUnlock()
 	if len(ids) == 0 {
-		return nil
+		return nil, nil
 	}
-	return ids
+	return ids, nil
 }
 
 // Len returns the number of stored graphs.
@@ -523,24 +547,43 @@ func (ix *GraphIndex) Stats() IndexStats {
 // certificate of g under the index's DviCL options. Two graphs are
 // isomorphic iff their certificates are equal; AddCert accepts the
 // result. Pure with respect to the index — no locks taken.
-func (ix *GraphIndex) Certificate(g *Graph) string { return ix.certOf(g) }
+func (ix *GraphIndex) Certificate(g *Graph) string {
+	cert, err := ix.certOfCtx(context.Background(), g)
+	if err != nil {
+		// Unreachable with a background context and no Budget: the only
+		// build errors are cancellation and budget exhaustion.
+		panic("dvicl: Certificate: " + err.Error())
+	}
+	return cert
+}
 
-// certOf computes (or recalls) the canonical certificate of g. It runs
-// outside the shard locks by design — see the Concurrency section of the
-// GraphIndex doc — and consults the striped LRU cache keyed by the exact
-// labeled graph (graph.Hash), so repeated presentations of the same
-// graph skip DviCL entirely.
-func (ix *GraphIndex) certOf(g *Graph) string {
+// CertificateCtx is Certificate with a context bounding the build.
+func (ix *GraphIndex) CertificateCtx(ctx context.Context, g *Graph) (string, error) {
+	return ix.certOfCtx(ctx, g)
+}
+
+// certOfCtx computes (or recalls) the canonical certificate of g. It
+// runs outside the shard locks by design — see the Concurrency section
+// of the GraphIndex doc — and consults the striped LRU cache keyed by
+// the exact labeled graph (graph.Hash), so repeated presentations of the
+// same graph skip DviCL entirely. A canceled or budget-exhausted build
+// returns the typed engine error and caches nothing.
+func (ix *GraphIndex) certOfCtx(ctx context.Context, g *Graph) (string, error) {
 	if ix.cache == nil {
-		return string(CanonicalCert(g, nil, ix.opt))
+		cert, err := CanonicalCertCtx(ctx, g, nil, ix.opt)
+		return string(cert), err
 	}
 	key := g.Hash()
 	if cert, ok := ix.cache.get(key); ok {
 		ix.opt.Obs.Inc(obs.CertCacheHits)
-		return cert
+		return cert, nil
 	}
 	ix.opt.Obs.Inc(obs.CertCacheMisses)
-	cert := string(CanonicalCert(g, nil, ix.opt))
+	raw, err := CanonicalCertCtx(ctx, g, nil, ix.opt)
+	if err != nil {
+		return "", err
+	}
+	cert := string(raw)
 	ix.cache.put(key, cert)
-	return cert
+	return cert, nil
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dvicl/internal/coloring"
+	"dvicl/internal/engine"
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
 	"dvicl/internal/perm"
@@ -108,15 +109,34 @@ type Result struct {
 // Canonical computes the canonical labeling of the colored graph (g, pi).
 // pi may be nil for the unit coloring. pi is not modified.
 func Canonical(g *graph.Graph, pi *coloring.Coloring, opt Options) Result {
+	res, _ := CanonicalCtl(nil, nil, g, pi, opt) // nil Ctl never stops the search
+	return res
+}
+
+// CanonicalCtl is Canonical under an engine controller: ctl is ticked on
+// every search-tree node (whole-build node budget, cancellation), and
+// the search refines in ws rather than allocating. On ErrCanceled /
+// ErrBudgetExceeded the Result carries the partial effort statistics but
+// no usable labeling. ctl and ws may be nil (ws is then drawn from the
+// engine pool); ws must not be shared with a concurrent search.
+func CanonicalCtl(ctl *engine.Ctl, ws *engine.Workspace, g *graph.Graph, pi *coloring.Coloring, opt Options) (Result, error) {
 	n := g.N()
 	if pi == nil {
 		pi = coloring.Unit(n)
 	} else {
 		pi = pi.Clone()
 	}
-	s := &search{g: g, opt: opt, n: n, rootCells: cellSizes(pi), backjump: -1}
-	rootTrace := pi.RefineObserved(g, nil, opt.Obs)
-	s.run(pi, []uint64{rootTrace}, nil)
+	if ws == nil {
+		ws = engine.GetWorkspace(n)
+		defer engine.PutWorkspace(ws)
+	}
+	s := &search{g: g, opt: opt, ctl: ctl, ws: ws, n: n, rootCells: cellSizes(pi), backjump: -1}
+	rootTrace, err := pi.RefineWS(g, nil, ws, ctl, opt.Obs)
+	if err != nil {
+		s.stopErr = err
+	} else {
+		s.run(pi, []uint64{rootTrace}, nil)
+	}
 	res := Result{
 		Generators:     s.gens,
 		Nodes:          s.nodes,
@@ -127,7 +147,7 @@ func Canonical(g *graph.Graph, pi *coloring.Coloring, opt Options) Result {
 		Backjumps:      s.backjumps,
 		Truncated:      s.truncated,
 	}
-	if s.best != nil {
+	if s.best != nil && s.stopErr == nil {
 		res.Canon = s.best.gamma
 		res.Cert = s.best.cert
 	}
@@ -143,7 +163,7 @@ func Canonical(g *graph.Graph, pi *coloring.Coloring, opt Options) Result {
 			rec.Inc(obs.Truncations)
 		}
 	}
-	return res
+	return res, s.stopErr
 }
 
 // leaf records a discrete coloring reached by the search.
@@ -157,6 +177,8 @@ type leaf struct {
 type search struct {
 	g         *graph.Graph
 	opt       Options
+	ctl       *engine.Ctl
+	ws        *engine.Workspace
 	n         int
 	rootCells []int
 
@@ -172,12 +194,21 @@ type search struct {
 	pruneOrbit int64
 	backjumps  int64
 	truncated  bool
+	// stopErr latches the controller's ErrCanceled/ErrBudgetExceeded; the
+	// recursion unwinds without visiting further nodes once it is set.
+	stopErr error
 	// backjump, when ≥ 0, unwinds the recursion to the node at that depth
 	// (bliss-style automorphism backjumping: after discovering an
 	// automorphism against the leftmost leaf, everything between the
 	// current position and the deepest common ancestor with the first
 	// path yields only derivable automorphisms).
 	backjump int
+}
+
+// halted reports whether the search must stop visiting nodes: a
+// truncated per-leaf bound (soft) or a latched controller error (hard).
+func (s *search) halted() bool {
+	return s.truncated || s.stopErr != nil
 }
 
 func cellSizes(c *coloring.Coloring) []int {
@@ -192,10 +223,14 @@ func cellSizes(c *coloring.Coloring) []int {
 // trace vector trace. path holds the individualized vertices from the
 // root (the sequence ν of Section 4).
 func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
-	if s.truncated {
+	if s.halted() {
 		return
 	}
 	s.nodes++
+	if err := s.ctl.Tick(1); err != nil {
+		s.stopErr = err
+		return
+	}
 	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
 		s.truncated = true
 		return
@@ -215,7 +250,7 @@ func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
 	// have arrived (they are discovered while exploring earlier children).
 	pruner := newOrbitPruner(s.n, path)
 	for _, v := range target {
-		if s.truncated {
+		if s.halted() {
 			return
 		}
 		if pruner.pruned(s.gens, v) {
@@ -224,7 +259,11 @@ func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
 		}
 		child := c.Clone()
 		sing, rest := child.Individualize(v)
-		t := child.RefineObserved(s.g, []int{sing, rest}, s.opt.Obs)
+		t, err := child.RefineWS(s.g, []int{sing, rest}, s.ws, s.ctl, s.opt.Obs)
+		if err != nil {
+			s.stopErr = err
+			return
+		}
 		level := len(trace)
 		childTrace := append(append([]uint64(nil), trace...), t)
 		if !s.keepChild(t, level) {

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"dvicl/internal/engine"
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
 )
@@ -16,6 +17,12 @@ func mix(h uint64, x uint64) uint64 {
 	h *= fnvPrime
 	return h
 }
+
+// pollRounds is how many refinement rounds pass between cancellation
+// polls. A round is one splitter cell's worth of neighbor counting —
+// cheap for small cells — so the poll is rate-limited the same way the
+// search's per-node Tick is.
+const pollRounds = 256
 
 // Refine makes c equitable with respect to g — the refinement function R
 // of Sections 4 and 6 (1-dimensional Weisfeiler–Lehman). Cells are split
@@ -34,8 +41,13 @@ func mix(h uint64, x uint64) uint64 {
 // The cost per splitter is proportional to the splitter's adjacency, not
 // to the sizes of the touched cells: members with zero splitter-neighbors
 // stay in place as the (implicit, minimal-count) first fragment.
+//
+// Refine draws a scratch workspace from the engine pool; hot loops that
+// refine repeatedly should hold their own workspace and call RefineWS.
 func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
-	h, _, _ := c.refine(g, active)
+	w := engine.GetWorkspace(c.N())
+	h, _, _, _ := c.refineWS(g, active, w, nil)
+	engine.PutWorkspace(w)
 	return h
 }
 
@@ -45,46 +57,67 @@ func (c *Coloring) Refine(g *graph.Graph, active []int) uint64 {
 // splitting). Counts are accumulated in locals and flushed once at the
 // end, so the refinement loop itself carries no atomic traffic.
 func (c *Coloring) RefineObserved(g *graph.Graph, active []int, rec *obs.Recorder) uint64 {
-	h, rounds, splits := c.refine(g, active)
-	rec.Inc(obs.RefineCalls)
-	rec.Add(obs.RefineRounds, rounds)
-	rec.Add(obs.CellSplits, splits)
+	w := engine.GetWorkspace(c.N())
+	h, _ := c.RefineWS(g, active, w, nil, rec)
+	engine.PutWorkspace(w)
 	return h
 }
 
-func (c *Coloring) refine(g *graph.Graph, active []int) (trace uint64, rounds, splits int64) {
+// RefineWS is the full-control refinement entry: it runs in the caller's
+// workspace (allocation-free in steady state), polls ctl between rounds,
+// and reports into rec. Any of w's buffers may be grown and retained in
+// w. On cancellation it returns ctl's error with the coloring in a
+// valid (merely under-refined) state and w's invariants restored; the
+// partial trace hash must not be used. ctl and rec may be nil; w must
+// not be shared with a concurrent refinement.
+func (c *Coloring) RefineWS(g *graph.Graph, active []int, w *engine.Workspace, ctl *engine.Ctl, rec *obs.Recorder) (uint64, error) {
+	h, rounds, splits, err := c.refineWS(g, active, w, ctl)
+	rec.Inc(obs.RefineCalls)
+	rec.Add(obs.RefineRounds, rounds)
+	rec.Add(obs.CellSplits, splits)
+	return h, err
+}
+
+func (c *Coloring) refineWS(g *graph.Graph, active []int, w *engine.Workspace, ctl *engine.Ctl) (trace uint64, rounds, splits int64, err error) {
 	n := c.N()
 	h := uint64(fnvOffset)
 	if n == 0 {
-		return h, 0, 0
+		return h, 0, 0, nil
 	}
-	inWork := make([]bool, n)
-	var queue []int
-	push := func(s int) {
-		if !inWork[s] {
-			inWork[s] = true
-			queue = append(queue, s)
-		}
-	}
+	w.Grow(n)
+	inWork := w.Marks
+	cnt := w.Counts // neighbor count scratch, keyed by vertex
+	touched := w.Touched[:0]
+	keys := w.Keys[:0]
+
 	if active == nil {
 		for s := 0; s < n; s = c.ce[s] {
-			push(s)
+			if !inWork[s] {
+				inWork[s] = true
+				w.Queue = append(w.Queue, s)
+			}
 		}
 	} else {
 		for _, s := range active {
-			if s >= 0 {
-				push(s)
+			if s >= 0 && !inWork[s] {
+				inWork[s] = true
+				w.Queue = append(w.Queue, s)
 			}
 		}
 	}
 
-	cnt := make([]int, n) // neighbor count scratch, keyed by vertex
-	touched := make([]int, 0, 64)
-	keys := make([]uint64, 0, 64)
-
-	for len(queue) > 0 {
-		ws := queue[0]
-		queue = queue[1:]
+	// The worklist pops by head index rather than reslicing, so the
+	// queue's backing array survives for the next refinement in this
+	// workspace.
+	head := 0
+	for head < len(w.Queue) {
+		if rounds%pollRounds == 0 {
+			if err = ctl.Poll(); err != nil {
+				break
+			}
+		}
+		ws := w.Queue[head]
+		head++
 		inWork[ws] = false
 		rounds++
 		we := c.ce[ws]
@@ -93,13 +126,13 @@ func (c *Coloring) refine(g *graph.Graph, active []int) (trace uint64, rounds, s
 		// Count splitter-neighbors for every adjacent vertex.
 		touched = touched[:0]
 		for p := ws; p < we; p++ {
-			v := c.lab[p]
-			g.Neighbors(v, func(w int) {
-				if cnt[w] == 0 {
-					touched = append(touched, w)
+			for _, q32 := range g.Neighbors32(c.lab[p]) {
+				q := int(q32)
+				if cnt[q] == 0 {
+					touched = append(touched, q)
 				}
-				cnt[w]++
-			})
+				cnt[q]++
+			}
 		}
 		if len(touched) == 0 {
 			if c.nc == n {
@@ -124,7 +157,7 @@ func (c *Coloring) refine(g *graph.Graph, active []int) (trace uint64, rounds, s
 				j++
 			}
 			var added int
-			h, added = c.splitTouched(s, touched[i:j], cnt, h, inWork, push)
+			h, added = c.splitTouched(s, touched[i:j], cnt, h, w)
 			splits += int64(added)
 			i = j
 		}
@@ -135,18 +168,30 @@ func (c *Coloring) refine(g *graph.Graph, active []int) (trace uint64, rounds, s
 			break
 		}
 	}
+	// Restore the workspace invariants: cells still queued (early break
+	// or cancellation) keep their mark only for the queue's lifetime.
+	for ; head < len(w.Queue); head++ {
+		inWork[w.Queue[head]] = false
+	}
+	w.Queue = w.Queue[:0]
+	w.Touched = touched[:0]
+	w.Keys = keys[:0]
+	if err != nil {
+		return h, rounds, splits, err
+	}
 	// Fold the final cell structure into the hash.
 	for s := 0; s < n; s = c.ce[s] {
 		h = mix(h, uint64(s)<<32|uint64(c.ce[s]-s))
 	}
-	return h, rounds, splits
+	return h, rounds, splits, nil
 }
 
 // splitTouched splits the cell starting at s given its touched members
 // (sorted by ascending count); untouched members keep count zero and stay
 // in place as the first fragment. Runs in O(len(group)). It returns the
-// updated trace hash and the number of new cell fragments created.
-func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork []bool, push func(int)) (uint64, int) {
+// updated trace hash and the number of new cell fragments created. New
+// fragments are enqueued on w.Queue per the Hopcroft rule.
+func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, w *engine.Workspace) (uint64, int) {
 	e := c.ce[s]
 	t := len(group)
 	zeros := (e - s) - t
@@ -175,17 +220,16 @@ func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork 
 			c.pos[v], c.pos[u] = target, p
 		}
 	}
-	wasActive := inWork[s]
+	wasActive := w.Marks[s]
 	if wasActive {
-		inWork[s] = false
+		w.Marks[s] = false
 	}
 	// Fragment boundaries: [s, s+zeros) keeps its cs values; count groups
 	// occupy [e-t, e).
-	type frag struct{ start, end int }
-	var frags []frag
+	frags := w.Frags[:0]
 	if zeros > 0 {
 		c.ce[s] = s + zeros
-		frags = append(frags, frag{s, s + zeros})
+		frags = append(frags, [2]int{s, s + zeros})
 		h = mix(h, uint64(s)<<32|uint64(zeros))
 		h = mix(h, 0)
 	}
@@ -200,7 +244,7 @@ func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork 
 			c.cs[p] = fs
 		}
 		c.ce[fs] = fe
-		frags = append(frags, frag{fs, fe})
+		frags = append(frags, [2]int{fs, fe})
 		h = mix(h, uint64(fs)<<32|uint64(fe-fs))
 		h = mix(h, uint64(cnt[c.lab[fs]]))
 		k = k2
@@ -210,15 +254,19 @@ func (c *Coloring) splitTouched(s int, group []int, cnt []int, h uint64, inWork 
 	// original cell was pending, enqueue the largest too.
 	largest := 0
 	for i, f := range frags {
-		if f.end-f.start > frags[largest].end-frags[largest].start {
+		if f[1]-f[0] > frags[largest][1]-frags[largest][0] {
 			largest = i
 		}
 	}
 	for i, f := range frags {
 		if i != largest || wasActive {
-			push(f.start)
+			if !w.Marks[f[0]] {
+				w.Marks[f[0]] = true
+				w.Queue = append(w.Queue, f[0])
+			}
 		}
 	}
+	w.Frags = frags[:0]
 	return h, len(frags) - 1
 }
 

@@ -1,0 +1,51 @@
+package coloring
+
+import (
+	"testing"
+
+	"dvicl/internal/engine"
+	"dvicl/internal/gen"
+)
+
+// BenchmarkRefineAllocs measures steady-state refinement in a held
+// workspace — the configuration every hot loop (canon search, core
+// build, pipeline workers) runs in. It must report 0 allocs/op; the
+// before/after record lives in results/ENGINE_REFINE_ALLOCS.md.
+func BenchmarkRefineAllocs(b *testing.B) {
+	g := gen.RigidCubic(512, 1)
+	base := Unit(g.N())
+	work := base.Clone()
+	w := engine.GetWorkspace(g.N())
+	defer engine.PutWorkspace(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copyColoring(work, base)
+		if _, err := work.RefineWS(g, nil, w, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefinePooled measures the legacy Refine entry point, which
+// draws its workspace from the engine pool per call — the compatibility
+// path's steady-state cost.
+func BenchmarkRefinePooled(b *testing.B) {
+	g := gen.RigidCubic(512, 1)
+	base := Unit(g.N())
+	work := base.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copyColoring(work, base)
+		work.Refine(g, nil)
+	}
+}
+
+func copyColoring(dst, src *Coloring) {
+	copy(dst.lab, src.lab)
+	copy(dst.pos, src.pos)
+	copy(dst.cs, src.cs)
+	copy(dst.ce, src.ce)
+	dst.nc = src.nc
+}

@@ -14,12 +14,14 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"sort"
 	"time"
 
 	"dvicl/internal/canon"
 	"dvicl/internal/coloring"
+	"dvicl/internal/engine"
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
 	"dvicl/internal/perm"
@@ -30,10 +32,19 @@ type Options struct {
 	// LeafPolicy selects the individualization–refinement engine used for
 	// non-singleton leaves — the "X" in the paper's DviCL+X.
 	LeafPolicy canon.Policy
+	// Budget bounds the build: whole-build deadline and node cap (hard,
+	// BuildCtx returns ErrBudgetExceeded) composed with per-leaf bounds
+	// (soft, Tree.Truncated). The legacy LeafMaxNodes/LeafTimeout fields
+	// below fill the corresponding Budget fields when those are zero.
+	Budget engine.Budget
 	// LeafMaxNodes bounds each leaf search (0 = unlimited).
+	//
+	// Deprecated: set Budget.LeafMaxNodes.
 	LeafMaxNodes int64
 	// LeafTimeout bounds each leaf search by wall clock (0 = unlimited) —
 	// the per-leaf analogue of the paper's two-hour limit.
+	//
+	// Deprecated: set Budget.LeafTimeout.
 	LeafTimeout time.Duration
 	// DisableTwinSimplification turns off the structural-equivalence
 	// preprocessing of Section 6.1. On by default because real graphs are
@@ -52,6 +63,18 @@ type Options struct {
 	// every leaf search's. A nil recorder costs one predictable branch
 	// per instrumentation point.
 	Obs *obs.Recorder
+}
+
+// effectiveBudget folds the deprecated per-leaf knobs into the Budget.
+func (o Options) effectiveBudget() engine.Budget {
+	b := o.Budget
+	if b.LeafMaxNodes == 0 {
+		b.LeafMaxNodes = o.LeafMaxNodes
+	}
+	if b.LeafTimeout == 0 {
+		b.LeafTimeout = o.LeafTimeout
+	}
+	return b
 }
 
 // NodeKind distinguishes the three node shapes of an AutoTree.
@@ -213,40 +236,75 @@ func (t *Tree) LeafOf(v int) *Node { return t.leaves[t.leafOf[v]] }
 
 // Build runs DviCL (Algorithm 1) on the colored graph (g, pi) and returns
 // its AutoTree. pi may be nil for the unit coloring; it is not modified.
+//
+// Build cannot report errors, so it must not be used with a whole-build
+// Budget (use BuildCtx); it panics if the budget is exceeded or an
+// internal invariant breaks, preserving the pre-engine behavior for
+// legacy callers whose builds are only leaf-bounded (soft truncation).
 func Build(g *graph.Graph, pi *coloring.Coloring, opt Options) *Tree {
+	t, err := BuildCtx(context.Background(), g, pi, opt)
+	if err != nil {
+		panic("core.Build: " + err.Error())
+	}
+	return t
+}
+
+// BuildCtx is Build under a context and the Options budget: cancellation
+// and the whole-build deadline/node cap are polled at every tree node,
+// every refinement round, and every ~64 leaf-search nodes, so a build on
+// a pathological graph stops within milliseconds of ctx being canceled.
+// It returns engine.ErrCanceled / engine.ErrBudgetExceeded (no partial
+// tree — obs counters retain the partial effort), or an
+// *engine.InternalError if a structural invariant breaks.
+func BuildCtx(ctx context.Context, g *graph.Graph, pi *coloring.Coloring, opt Options) (*Tree, error) {
 	n := g.N()
 	if pi == nil {
 		pi = coloring.Unit(n)
 	} else {
 		pi = pi.Clone()
 	}
+	budget := opt.effectiveBudget()
+	ctl := engine.NewCtl(ctx, budget)
+	ws := engine.GetWorkspace(n)
+	defer engine.PutWorkspace(ws)
 	buildSpan := opt.Obs.StartPhase(obs.PhaseBuild)
+	defer buildSpan.End()
 	// Line 1–2 of Algorithm 1: equitable refinement, then color values.
 	refineSpan := opt.Obs.StartPhase(obs.PhaseRefine)
-	pi.RefineObserved(g, nil, opt.Obs)
+	_, err := pi.RefineWS(g, nil, ws, ctl, opt.Obs)
 	refineSpan.End()
+	if err != nil {
+		return nil, err
+	}
 	colors := make([]int, n)
 	for v := 0; v < n; v++ {
 		colors[v] = pi.Color(v)
 	}
 	t := &Tree{g: g, colors: colors, leafOf: make([]int, n)}
-	b := &builder{t: t, opt: opt, scratch: newScratch(n)}
+	b := &builder{t: t, opt: opt, budget: budget, ctl: ctl, scratch: newScratch(n)}
 	if opt.Workers > 1 {
 		b.sem = make(chan struct{}, opt.Workers-1)
 	}
 
+	var root *Node
 	if !opt.DisableTwinSimplification {
-		t.Root = b.buildSimplified()
+		root, err = b.buildSimplified(ws)
 	} else {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		t.Root = b.cl(b.subgraphOf(all))
+		root, err = b.cl(b.subgraphOf(all), ws)
 	}
+	if err != nil {
+		return nil, err
+	}
+	t.Root = root
 
 	t.Truncated = b.wasTruncated()
-	t.sparseGens = b.collectGens(t.Root)
+	if t.sparseGens, err = b.collectGens(t.Root); err != nil {
+		return nil, err
+	}
 	if n > 0 {
 		t.Gamma = make(perm.Perm, n)
 		copy(t.Gamma, t.Root.gammaVal) // root Verts = 0..n-1 in order
@@ -254,8 +312,7 @@ func Build(g *graph.Graph, pi *coloring.Coloring, opt Options) *Tree {
 		t.Gamma = perm.Perm{}
 	}
 	t.indexLeaves()
-	buildSpan.End()
-	return t
+	return t, nil
 }
 
 // indexLeaves records which leaf holds each vertex (used by SSM).

@@ -10,6 +10,7 @@ import (
 
 	"dvicl/internal/canon"
 	"dvicl/internal/coloring"
+	"dvicl/internal/engine"
 	"dvicl/internal/obs"
 )
 
@@ -56,17 +57,22 @@ func (d *descriptor) pair(a, b int) {
 func (d *descriptor) bytes() []byte { return d.buf.Bytes() }
 
 // cl is the recursive procedure of Algorithm 1: it constructs the AutoTree
-// rooted at (g, πg).
-func (b *builder) cl(sg *subgraph) *Node {
+// rooted at (g, πg), refining in ws (owned by this goroutine). It stops
+// with the controller's error as soon as the build is canceled or over
+// budget — every tree node is a cancellation checkpoint.
+func (b *builder) cl(sg *subgraph, ws *engine.Workspace) (*Node, error) {
+	if err := b.ctl.Poll(); err != nil {
+		return nil, err
+	}
 	nd := &Node{Verts: sg.verts}
 	if len(sg.verts) == 0 {
 		nd.Kind = KindLeaf
 		nd.Cert = hashParts([]byte{'e'})
-		return nd
+		return nd, nil
 	}
 	if len(sg.verts) == 1 {
 		b.makeSingleton(nd)
-		return nd
+		return nd, nil
 	}
 	b.opt.Obs.Inc(obs.DivideICalls)
 	spanI := b.opt.Obs.StartPhase(obs.PhaseDivideI)
@@ -79,30 +85,53 @@ func (b *builder) cl(sg *subgraph) *Node {
 		spanS.End()
 	}
 	if div == nil {
-		b.combineCL(nd, sg)
-		return nd
+		if err := b.combineCL(nd, sg, ws); err != nil {
+			return nil, err
+		}
+		return nd, nil
 	}
 	nd.Kind = KindInternal
 	nd.Divide = div.kind
 	nd.desc = div.desc
-	nd.Children = b.buildChildren(div.children)
+	children, err := b.buildChildren(div.children, ws)
+	if err != nil {
+		return nil, err
+	}
+	nd.Children = children
 	b.combineST(nd)
-	return nd
+	return nd, nil
 }
 
 // buildChildren recurses into the divided subgraphs, in parallel when the
 // builder has spare worker tokens. Subtrees are fully independent (they
-// share only read-only state), and combineST re-sorts by certificate, so
-// the final tree is identical to the sequential one.
-func (b *builder) buildChildren(subs []*subgraph) []*Node {
+// share only read-only state; spawned goroutines draw their own
+// workspaces), and combineST re-sorts by certificate, so the final tree
+// is identical to the sequential one. On error it still waits for every
+// spawned subtree — cancellation latches in the shared ctl, so siblings
+// unwind promptly and no goroutine is leaked — and returns the first
+// error observed.
+func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace) ([]*Node, error) {
 	nodes := make([]*Node, len(subs))
 	if b.sem == nil || len(subs) < 2 {
 		for i, child := range subs {
-			nodes[i] = b.cl(child)
+			nd, err := b.cl(child, ws)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = nd
 		}
-		return nodes
+		return nodes, nil
 	}
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for i, child := range subs {
 		select {
 		case b.sem <- struct{}{}:
@@ -111,15 +140,36 @@ func (b *builder) buildChildren(subs []*subgraph) []*Node {
 			go func(i int, c *subgraph) {
 				defer wg.Done()
 				defer func() { <-b.sem }()
-				nodes[i] = b.cl(c)
+				cws := engine.GetWorkspace(c.local.N())
+				nd, err := b.cl(c, cws)
+				engine.PutWorkspace(cws)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				nodes[i] = nd
 			}(i, child)
 		default:
 			b.opt.Obs.Inc(obs.WorkerInline)
-			nodes[i] = b.cl(child)
+			nd, err := b.cl(child, ws)
+			if err != nil {
+				setErr(err)
+			} else {
+				nodes[i] = nd
+			}
+		}
+		errMu.Lock()
+		stop := firstErr != nil
+		errMu.Unlock()
+		if stop {
+			break
 		}
 	}
 	wg.Wait()
-	return nodes
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nodes, nil
 }
 
 // makeSingleton fills in a one-vertex leaf: its canonical label is its
@@ -135,7 +185,7 @@ func (b *builder) makeSingleton(nd *Node) {
 // individualization–refinement engine (the paper's nauty/bliss/traces)
 // canonically labels (g, πg); its total order γ* then ranks same-colored
 // vertices, yielding vᵞᵍ = π(v) + rank.
-func (b *builder) combineCL(nd *Node, sg *subgraph) {
+func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace) error {
 	nd.Kind = KindLeaf
 	b.opt.Obs.Inc(obs.LeafSearches)
 	span := b.opt.Obs.StartPhase(obs.PhaseCombineCL)
@@ -143,17 +193,20 @@ func (b *builder) combineCL(nd *Node, sg *subgraph) {
 	cells := b.cellsOf(sg)
 	pi, err := coloring.FromCells(len(sg.verts), cells)
 	if err != nil {
-		panic("core: projected cells are not a partition: " + err.Error())
+		return engine.Internalf("core.combineCL", "projected cells are not a partition: %v", err)
 	}
 	copt := canon.Options{
 		Policy:   b.opt.LeafPolicy,
-		MaxNodes: b.opt.LeafMaxNodes,
+		MaxNodes: b.budget.LeafMaxNodes,
 		Obs:      b.opt.Obs,
 	}
-	if b.opt.LeafTimeout > 0 {
-		copt.Deadline = time.Now().Add(b.opt.LeafTimeout)
+	if b.budget.LeafTimeout > 0 {
+		copt.Deadline = time.Now().Add(b.budget.LeafTimeout)
 	}
-	res := canon.Canonical(sg.local, pi, copt)
+	res, err := canon.CanonicalCtl(b.ctl, ws, sg.local, pi, copt)
+	if err != nil {
+		return err
+	}
 	nd.leafNodes = res.Nodes
 	nd.leafLeaves = res.Leaves
 	nd.leafTruncated = res.Truncated
@@ -180,6 +233,7 @@ func (b *builder) combineCL(nd *Node, sg *subgraph) {
 		}
 	}
 	nd.Cert = leafCert(nd, sg, cells, b)
+	return nil
 }
 
 // leafCert encodes the canonical form of a leaf exactly: the (color,

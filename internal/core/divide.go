@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"dvicl/internal/engine"
 	"dvicl/internal/graph"
 )
 
@@ -17,8 +18,13 @@ type subgraph struct {
 }
 
 type builder struct {
-	t       *Tree
-	opt     Options
+	t   *Tree
+	opt Options
+	// budget is opt's effective budget (legacy leaf knobs folded in);
+	// ctl enforces its whole-build bounds plus context cancellation.
+	// ctl is nil for unbudgeted, uncancelable builds.
+	budget  engine.Budget
+	ctl     *engine.Ctl
 	scratch *scratch
 	// sem is the token bucket bounding concurrent subtree builders
 	// (nil when sequential).

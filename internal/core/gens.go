@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/big"
 
+	"dvicl/internal/engine"
 	"dvicl/internal/group"
 	"dvicl/internal/perm"
 )
@@ -13,6 +14,7 @@ import (
 type gensCollector struct {
 	n    int
 	gens []perm.Sparse
+	err  error
 }
 
 // collectGens derives a generating set of Aut(G, π) from the finished
@@ -23,13 +25,19 @@ type gensCollector struct {
 // Generators are sparse: each moves only its leaf's or sibling pair's
 // vertices, so the collection stays linear in the tree size even on
 // million-vertex graphs.
-func (b *builder) collectGens(root *Node) []perm.Sparse {
+func (b *builder) collectGens(root *Node) ([]perm.Sparse, error) {
 	gc := &gensCollector{n: b.t.g.N()}
 	gc.walk(root)
-	return gc.gens
+	if gc.err != nil {
+		return nil, gc.err
+	}
+	return gc.gens, nil
 }
 
 func (gc *gensCollector) walk(nd *Node) {
+	if gc.err != nil {
+		return
+	}
 	switch nd.Kind {
 	case KindSingleton:
 		return
@@ -49,6 +57,12 @@ func (gc *gensCollector) walk(nd *Node) {
 		for i := 0; i+1 < len(nd.Children); i++ {
 			a, bb := nd.Children[i], nd.Children[i+1]
 			if bytes.Equal(a.Cert, bb.Cert) {
+				if len(a.Verts) != len(bb.Verts) {
+					gc.err = engine.Internalf("core.collectGens",
+						"equal-certificate siblings of different size (%d vs %d)",
+						len(a.Verts), len(bb.Verts))
+					return
+				}
 				gc.gens = append(gc.gens, swapGen(gc.n, a, bb))
 			}
 		}
@@ -60,13 +74,11 @@ func (gc *gensCollector) walk(nd *Node) {
 
 // swapGen builds the automorphism that exchanges two equal-certificate
 // siblings by matching their vertices canonical-position by canonical-
-// position (the γij of Section 5), fixing everything else.
+// position (the γij of Section 5), fixing everything else. The caller
+// has verified the siblings are the same size.
 func swapGen(n int, a, b *Node) perm.Sparse {
 	av := vertsByGamma(a)
 	bv := vertsByGamma(b)
-	if len(av) != len(bv) {
-		panic("core: equal-certificate siblings of different size")
-	}
 	s := perm.Sparse{N: n, Moved: make([][2]int, 0, 2*len(av))}
 	for k := range av {
 		s.Moved = append(s.Moved, [2]int{av[k], bv[k]}, [2]int{bv[k], av[k]})

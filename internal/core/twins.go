@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"dvicl/internal/engine"
 	"dvicl/internal/obs"
 )
 
@@ -20,7 +21,7 @@ import (
 // are left to the regular machinery (DivideS isolates them anyway, since
 // for an equitable coloring a twin class's neighborhood is a union of
 // whole cells, i.e. removable bicliques).
-func (b *builder) buildSimplified() *Node {
+func (b *builder) buildSimplified(ws *engine.Workspace) (*Node, error) {
 	n := b.t.g.N()
 	detectSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
 	twinsOf := b.wholeClassTwins()
@@ -30,7 +31,7 @@ func (b *builder) buildSimplified() *Node {
 		for i := range all {
 			all[i] = i
 		}
-		return b.cl(b.subgraphOf(all))
+		return b.cl(b.subgraphOf(all), ws)
 	}
 	removed := make([]bool, n)
 	var collapsed int64
@@ -47,12 +48,18 @@ func (b *builder) buildSimplified() *Node {
 			kept = append(kept, v)
 		}
 	}
-	root := b.cl(b.subgraphOf(kept))
+	root, err := b.cl(b.subgraphOf(kept), ws)
+	if err != nil {
+		return nil, err
+	}
 	expandSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
-	expanded := b.expandTwins(root, twinsOf)
+	expanded, err := b.expandTwins(root, twinsOf)
 	expandSpan.End()
+	if err != nil {
+		return nil, err
+	}
 	if len(expanded) == 1 {
-		return expanded[0]
+		return expanded[0], nil
 	}
 	// The simplified graph degenerated to a single twin representative:
 	// wrap the expanded siblings in a fresh internal node, mirroring what
@@ -60,7 +67,7 @@ func (b *builder) buildSimplified() *Node {
 	wrapper := &Node{Kind: KindInternal, Divide: DividedI, desc: newDescriptor(DividedI).bytes()}
 	wrapper.Children = expanded
 	b.combineST(wrapper)
-	return wrapper
+	return wrapper, nil
 }
 
 // wholeClassTwins finds every color class whose members are pairwise
@@ -110,12 +117,12 @@ func sameNeighbors(a, b []int) bool {
 // representative becomes that leaf plus one sibling singleton leaf per
 // twin; internal nodes re-run CombineST over the widened child list so
 // Verts, γg and certificates stay consistent.
-func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) []*Node {
+func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) ([]*Node, error) {
 	switch nd.Kind {
 	case KindSingleton:
 		twins, ok := twinsOf[nd.Verts[0]]
 		if !ok {
-			return []*Node{nd}
+			return []*Node{nd}, nil
 		}
 		out := []*Node{nd}
 		for _, v := range twins {
@@ -123,26 +130,31 @@ func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) []*Node {
 			b.makeSingleton(leaf)
 			out = append(out, leaf)
 		}
-		return out
+		return out, nil
 	case KindLeaf:
 		// A collapsed representative's cell is a singleton in every
 		// subgraph, so it can never sit inside a non-singleton leaf.
 		for _, v := range nd.Verts {
 			if _, ok := twinsOf[v]; ok {
-				panic("core: twin representative inside a non-singleton leaf")
+				return nil, engine.Internalf("core.expandTwins",
+					"twin representative %d inside a non-singleton leaf", v)
 			}
 		}
-		return []*Node{nd}
+		return []*Node{nd}, nil
 	default:
 		var children []*Node
 		for _, c := range nd.Children {
-			children = append(children, b.expandTwins(c, twinsOf)...)
+			sub, err := b.expandTwins(c, twinsOf)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, sub...)
 		}
 		nd.Children = children
 		// Re-run CombineST unconditionally: any expansion in the subtree
 		// changed child certificates, so the sort, γg and certificate must
 		// be recomputed.
 		b.combineST(nd)
-		return []*Node{nd}
+		return []*Node{nd}, nil
 	}
 }

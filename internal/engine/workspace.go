@@ -1,0 +1,82 @@
+package engine
+
+import "sync"
+
+// Workspace is the reusable scratch memory for one goroutine's
+// refinement and search work: the 1-WL refinement buffers that were
+// previously allocated fresh on every Refine call. Ownership rule: a
+// Workspace belongs to exactly one goroutine at a time — callers that
+// fan out (core.buildChildren, pipeline workers) get one workspace per
+// worker, never share one across concurrent refinements.
+//
+// Invariants between uses (every consumer restores them before
+// returning, including on the cancellation path):
+//
+//   - Counts[i] == 0 for all i < len(Counts)
+//   - Marks[i] == false for all i < len(Marks)
+//   - Queue, Touched, Keys, Frags have length 0 (capacity retained)
+type Workspace struct {
+	// Counts is the per-vertex adjacency-count buffer (zeroed invariant).
+	Counts []int
+	// Marks is the per-cell "in worklist" flag buffer (false invariant).
+	Marks []bool
+	// Queue is the refinement worklist of cell start indices.
+	Queue []int
+	// Touched collects the cells reached by the current worklist cell.
+	Touched []int
+	// Keys is the scratch for sorting cell fragments by count.
+	Keys []uint64
+	// Frags receives [start, end) cell fragments from a split.
+	Frags [][2]int
+}
+
+// Grow ensures every buffer can hold an n-vertex graph's refinement
+// state without reallocating mid-run. Growing preserves the zeroed /
+// false invariants because append's fresh memory is zero-valued.
+func (w *Workspace) Grow(n int) {
+	if cap(w.Counts) < n {
+		w.Counts = make([]int, 0, n)
+	}
+	w.Counts = w.Counts[:n]
+	if cap(w.Marks) < n {
+		w.Marks = make([]bool, 0, n)
+	}
+	w.Marks = w.Marks[:n]
+	if cap(w.Queue) < n {
+		w.Queue = make([]int, 0, n)
+	}
+	w.Queue = w.Queue[:0]
+	if cap(w.Touched) < n {
+		w.Touched = make([]int, 0, n)
+	}
+	w.Touched = w.Touched[:0]
+	if cap(w.Keys) < n {
+		w.Keys = make([]uint64, 0, n)
+	}
+	w.Keys = w.Keys[:0]
+	if cap(w.Frags) < 8 {
+		w.Frags = make([][2]int, 0, 8)
+	}
+	w.Frags = w.Frags[:0]
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace takes a workspace from the pool, sized for an n-vertex
+// graph. Pair with PutWorkspace; legacy entry points that predate the
+// workspace API use this pair internally, so steady-state callers of
+// the old signatures also stop allocating.
+func GetWorkspace(n int) *Workspace {
+	w := wsPool.Get().(*Workspace)
+	w.Grow(n)
+	return w
+}
+
+// PutWorkspace returns a workspace to the pool. The caller must have
+// restored the invariants (all engine consumers do, even on the
+// cancellation path); the workspace must not be used after Put.
+func PutWorkspace(w *Workspace) {
+	if w != nil {
+		wsPool.Put(w)
+	}
+}

@@ -120,6 +120,13 @@ func (g *Graph) Neighbors(v int, fn func(w int)) {
 	}
 }
 
+// Neighbors32 returns the sorted neighbor list of v as a zero-copy view
+// of the graph's adjacency array. The caller must not modify it. The
+// refinement hot loop uses this to iterate adjacency without a callback.
+func (g *Graph) Neighbors32(v int) []int32 {
+	return g.neighbors32(v)
+}
+
 // NeighborSlice returns the sorted neighbor list of v as a fresh []int.
 func (g *Graph) NeighborSlice(v int) []int {
 	nb := g.neighbors32(v)

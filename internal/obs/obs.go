@@ -70,6 +70,7 @@ const (
 	IndexAddDuplicate // Adds that hit an existing isomorphism class
 	BulkRecords       // records read from a bulk-ingest stream
 	BulkDecodeErrors  // bulk records rejected by the decoder
+	IndexCanceled     // builds aborted by request-context cancellation
 
 	numCounters
 )
@@ -108,6 +109,7 @@ var counterNames = [numCounters]string{
 	IndexAddDuplicate:  "index_add_duplicate",
 	BulkRecords:        "bulk_records",
 	BulkDecodeErrors:   "bulk_decode_errors",
+	IndexCanceled:      "index_canceled",
 }
 
 // String returns the counter's snake_case metric name.

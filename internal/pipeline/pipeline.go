@@ -27,6 +27,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -43,16 +44,25 @@ type Source func() (raw string, line int, ok bool, err error)
 
 // Config wires one pipeline run.
 type Config struct {
+	// Ctx bounds the whole run: when it is canceled (client disconnect,
+	// SIGINT, deadline) the reader stops feeding, in-flight builds abort
+	// at their next cancellation checkpoint, and Run returns the partial
+	// report with an error wrapping the cause. nil means
+	// context.Background() (never canceled).
+	Ctx context.Context
 	// Workers is the canonicalization pool width. 0 means runtime.NumCPU().
 	Workers int
 	// Queue bounds the feed and result channels. 0 means 4×Workers.
 	Queue int
 	// Decode materializes a raw record (e.g. graph.FromGraph6). Required.
 	Decode func(raw string) (*graph.Graph, error)
-	// Canon builds the canonical certificate of a decoded graph,
-	// reporting effort into rec (a per-worker recorder; may be nil when
-	// Obs is nil). Required.
-	Canon func(g *graph.Graph, rec *obs.Recorder) string
+	// Canon builds the canonical certificate of a decoded graph under
+	// ctx, reporting effort into rec (a per-worker recorder; may be nil
+	// when Obs is nil). A non-nil error is *fatal* — unlike a Decode
+	// error, it aborts the run, because the only errors a build can
+	// produce are cancellation and budget exhaustion, which apply to the
+	// run as a whole. Required.
+	Canon func(ctx context.Context, g *graph.Graph, rec *obs.Recorder) (string, error)
 	// Apply consumes one certificate. Called from the Run goroutine only,
 	// in exactly input order (seq 0, 1, 2, … with decode failures
 	// skipped). A non-nil error aborts the run. Required.
@@ -91,12 +101,15 @@ type Report struct {
 }
 
 // result is one worker's output, tagged with the record's sequence
-// number so the applier can restore input order.
+// number so the applier can restore input order. err is a per-record
+// decode failure (counted, not fatal); fatal is a canonicalization
+// failure (cancellation / budget), which aborts the run.
 type result struct {
-	seq  int64
-	line int
-	cert string
-	err  error
+	seq   int64
+	line  int
+	cert  string
+	err   error
+	fatal error
 }
 
 // record is one unit of reader→worker work.
@@ -107,10 +120,16 @@ type record struct {
 }
 
 // Run streams src through the pipeline. It returns when the source is
-// exhausted (report, nil), or on the first source/apply error (partial
-// report, err). Decode errors do not abort the run; they are counted and
-// sampled in the report.
+// exhausted (report, nil), or on the first source/canonicalize/apply
+// error (partial report, err) — cancellation of cfg.Ctx surfaces as a
+// canonicalize error wrapping engine.ErrCanceled. Decode errors do not
+// abort the run; they are counted and sampled in the report. Whatever
+// the outcome, Run returns only after every worker goroutine has exited.
 func Run(cfg Config, src Source) (*Report, error) {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -144,6 +163,11 @@ func Run(cfg Config, src Source) (*Report, error) {
 			case feed <- record{seq: seq, line: line, raw: raw}:
 			case <-stop:
 				return
+			case <-ctx.Done():
+				// Record the cancellation: otherwise a cancel that lands
+				// between builds would masquerade as clean EOF.
+				readErr = context.Cause(ctx)
+				return
 			}
 		}
 	}()
@@ -164,8 +188,10 @@ func Run(cfg Config, src Source) (*Report, error) {
 				res := result{seq: r.seq, line: r.line}
 				if err != nil {
 					res.err = err
+				} else if cert, cerr := cfg.Canon(ctx, g, rec); cerr != nil {
+					res.fatal = cerr
 				} else {
-					res.cert = cfg.Canon(g, rec)
+					res.cert = cert
 				}
 				select {
 				case results <- res:
@@ -182,12 +208,19 @@ func Run(cfg Config, src Source) (*Report, error) {
 		close(results)
 	}()
 
-	// Applier (this goroutine): results → sink, restored to seq order.
+	// Applier (this goroutine): results → sink, restored to seq order. A
+	// fatal (canonicalize) result aborts on receipt — no point restoring
+	// order for a run that is already dead.
 	report := &Report{Workers: workers}
-	var applyErr error
+	var applyErr, canonErr error
+	var canonSeq int64
 	pending := make(map[int64]result)
 	next := int64(0)
 	for res := range results {
+		if res.fatal != nil {
+			canonErr, canonSeq = res.fatal, res.seq
+			break
+		}
 		pending[res.seq] = res
 		for {
 			r, ok := pending[next]
@@ -218,7 +251,7 @@ func Run(cfg Config, src Source) (*Report, error) {
 			break
 		}
 	}
-	if applyErr != nil {
+	if applyErr != nil || canonErr != nil {
 		// Unblock the reader and any worker parked on a full channel,
 		// then drain results so every worker observes feed closed.
 		close(stop)
@@ -234,6 +267,8 @@ func Run(cfg Config, src Source) (*Report, error) {
 		report.GraphsPerSec = float64(report.Applied) / report.ElapsedSeconds
 	}
 	switch {
+	case canonErr != nil:
+		return report, fmt.Errorf("pipeline: canonicalize record %d: %w", canonSeq, canonErr)
 	case applyErr != nil:
 		return report, fmt.Errorf("pipeline: apply record %d: %w", next-1, applyErr)
 	case readErr != nil:

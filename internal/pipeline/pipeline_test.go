@@ -1,12 +1,16 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"dvicl/internal/core"
+	"dvicl/internal/engine"
 	"dvicl/internal/gen"
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
@@ -40,8 +44,12 @@ func testStream(t *testing.T, k, classes int) (string, []*graph.Graph) {
 	return sb.String(), gs
 }
 
-func canonFn(g *graph.Graph, rec *obs.Recorder) string {
-	return string(core.Build(g, nil, core.Options{Obs: rec}).CanonicalCert())
+func canonFn(ctx context.Context, g *graph.Graph, rec *obs.Recorder) (string, error) {
+	t, err := core.BuildCtx(ctx, g, nil, core.Options{Obs: rec})
+	if err != nil {
+		return "", err
+	}
+	return string(t.CanonicalCert()), nil
 }
 
 // runCollect runs the pipeline over a graph6 stream and returns the
@@ -272,4 +280,71 @@ func ExampleRun() {
 	}, ScannerSource(graph.NewGraph6Scanner(strings.NewReader(in))))
 	fmt.Println(rep.Applied, len(classes))
 	// Output: 3 2
+}
+
+// TestRunCanceledMidStream cancels the run context partway through and
+// requires a prompt, leak-free abort with a typed error and a partial
+// report.
+func TestRunCanceledMidStream(t *testing.T) {
+	in, _ := testStream(t, 200, 10)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	applied := int64(0)
+	rep, err := Run(Config{
+		Ctx:     ctx,
+		Workers: 8,
+		Queue:   2,
+		Decode:  graph.FromGraph6,
+		Canon:   canonFn,
+		Apply: func(seq int64, cert string) error {
+			applied++
+			if applied == 5 {
+				cancel()
+			}
+			return nil
+		},
+	}, ScannerSource(graph.NewGraph6Scanner(strings.NewReader(in))))
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, engine.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled or context.Canceled", err)
+	}
+	if rep.Applied != applied || applied < 5 {
+		t.Fatalf("report.Applied = %d, applier saw %d", rep.Applied, applied)
+	}
+	if rep.Applied >= 200 {
+		t.Fatal("canceled run processed the whole stream")
+	}
+	// Run's contract: every worker has exited by return. Allow the
+	// runtime a moment to reap the reader.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunPreCanceled: a context canceled before Run starts yields an
+// error and applies nothing.
+func TestRunPreCanceled(t *testing.T) {
+	in, _ := testStream(t, 20, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(Config{
+		Ctx:     ctx,
+		Workers: 4,
+		Decode:  graph.FromGraph6,
+		Canon:   canonFn,
+		Apply:   func(int64, string) error { return nil },
+	}, ScannerSource(graph.NewGraph6Scanner(strings.NewReader(in))))
+	if err == nil {
+		t.Fatal("pre-canceled run returned nil error")
+	}
+	if rep.Applied != 0 {
+		t.Fatalf("pre-canceled run applied %d records", rep.Applied)
+	}
 }

@@ -1,0 +1,82 @@
+package ssm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dvicl/internal/core"
+	"dvicl/internal/engine"
+)
+
+// TestQueriesCanceled: every Ctx query entry point observes a canceled
+// context at its first checkpoint and returns ErrCanceled.
+func TestQueriesCanceled(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	g := randGraph(r, 14, 2)
+	tree := core.Build(g, nil, core.Options{})
+	ix := NewIndex(tree)
+	s := randomSubset(r, 14, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := ix.CountImagesCtx(ctx, s); !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("CountImagesCtx err = %v, want ErrCanceled", err)
+	}
+	if _, err := ix.EnumerateCtx(ctx, s, 0); !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("EnumerateCtx err = %v, want ErrCanceled", err)
+	}
+	if _, err := ix.PatternKeyCtx(ctx, s); !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("PatternKeyCtx err = %v, want ErrCanceled", err)
+	}
+	s2 := randomSubset(r, 14, 3)
+	if _, _, err := ix.WitnessAutomorphismCtx(ctx, s, s2, 0); !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("WitnessAutomorphismCtx err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCtxVariantsMatchLegacy: with a background context the Ctx variants
+// are the exact legacy queries.
+func TestCtxVariantsMatchLegacy(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + r.Intn(8)
+		g := randGraph(r, n, 2)
+		tree := core.Build(g, nil, core.Options{})
+		ix := NewIndex(tree)
+		s := randomSubset(r, n, 1+r.Intn(3))
+
+		ctx := context.Background()
+		count, err := ix.CountImagesCtx(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.Cmp(ix.CountImages(s)) != 0 {
+			t.Fatalf("trial %d: CountImagesCtx != CountImages", trial)
+		}
+		key, err := ix.PatternKeyCtx(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != ix.PatternKey(s) {
+			t.Fatalf("trial %d: PatternKeyCtx != PatternKey", trial)
+		}
+		got, err := ix.EnumerateCtx(ctx, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ix.Enumerate(s, 0)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: EnumerateCtx returned %d sets, legacy %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d: enumeration %d differs", trial, i)
+				}
+			}
+		}
+	}
+}

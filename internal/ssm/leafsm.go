@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dvicl/internal/core"
+	"dvicl/internal/engine"
 	"dvicl/internal/obs"
 )
 
@@ -14,7 +15,7 @@ import (
 // pattern (same orbit under Aut(leaf, πg), checked by pattern-certificate
 // equality). It returns the same set as leafOrbit; the two are
 // cross-checked in tests and benchmarked against each other.
-func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
+func (ix *Index) leafOrbitSM(ctl *engine.Ctl, nd *core.Node, pattern []int, limit int) ([][]int, error) {
 	leafG := nd.LeafGraph()
 	colors := ix.tree.Colors()
 
@@ -41,11 +42,17 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 	// sets (different embeddings of the same set differ by a query
 	// automorphism).
 	m := NewMatcher(leafG, leafColors)
-	key := ix.leafPatternCert(nd, pattern)
+	key, err := ix.leafPatternCert(ctl, nd, pattern)
+	if err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	var out [][]int
 	var candidates, pruned int64
 	for _, emb := range m.FindInduced(q, qColors, 0) {
+		if err := ctl.Poll(); err != nil {
+			return nil, err
+		}
 		set := CanonicalSet(emb)
 		k := intsKey(set)
 		if seen[k] {
@@ -60,7 +67,11 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 		for i, l := range set {
 			global[i] = nd.Verts[l]
 		}
-		if !bytesEqual(ix.leafPatternCert(nd, global), key) {
+		cert, err := ix.leafPatternCert(ctl, nd, global)
+		if err != nil {
+			return nil, err
+		}
+		if !bytesEqual(cert, key) {
 			pruned++
 			continue
 		}
@@ -72,7 +83,7 @@ func (ix *Index) leafOrbitSM(nd *core.Node, pattern []int, limit int) [][]int {
 	ix.rec.Add(obs.SSMLeafCandidates, candidates)
 	ix.rec.Add(obs.SSMLeafPruned, pruned)
 	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
-	return out
+	return out, nil
 }
 
 func intsKey(xs []int) string {
@@ -93,5 +104,9 @@ func (ix *Index) EnumerateSM(s []int, limit int) [][]int {
 	pattern := sortedCopy(s)
 	ix.useSM = true
 	defer func() { ix.useSM = false }()
-	return ix.enumNode(ix.tree.Root, pattern, limit)
+	out, err := ix.enumNode(nil, ix.tree.Root, pattern, limit)
+	if err != nil {
+		panic("ssm.EnumerateSM: " + err.Error())
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package ssm
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"dvicl/internal/canon"
 	"dvicl/internal/coloring"
 	"dvicl/internal/core"
+	"dvicl/internal/engine"
 	"dvicl/internal/obs"
 	"dvicl/internal/perm"
 )
@@ -79,17 +81,17 @@ func (ix *Index) nodeInfoOf(nd *core.Node) *nodeInfo {
 }
 
 // piecesOf partitions a pattern among nd's children: child index -> part.
-func (ix *Index) piecesOf(nd *core.Node, pattern []int) map[int][]int {
+func (ix *Index) piecesOf(nd *core.Node, pattern []int) (map[int][]int, error) {
 	ni := ix.nodeInfoOf(nd)
 	pieces := map[int][]int{}
 	for _, v := range pattern {
 		i, ok := ni.childOf[v]
 		if !ok {
-			panic("ssm: pattern vertex outside node")
+			return nil, engine.Internalf("ssm.piecesOf", "pattern vertex %d outside node", v)
 		}
 		pieces[i] = append(pieces[i], v)
 	}
-	return pieces
+	return pieces, nil
 }
 
 // patternGroups returns the indices of certificate groups touched by the
@@ -116,33 +118,71 @@ func (ix *Index) Tree() *core.Tree { return ix.tree }
 // counterparts of S, including S itself. This is the quantity reported in
 // Table 6 of the paper (candidate seed sets with the same influence).
 func (ix *Index) CountImages(s []int) *big.Int {
+	out, err := ix.CountImagesCtx(context.Background(), s)
+	if err != nil {
+		panic("ssm.CountImages: " + err.Error())
+	}
+	return out
+}
+
+// CountImagesCtx is CountImages under a context: the count recursion
+// polls ctx at every tree node and returns engine.ErrCanceled when it
+// fires mid-query.
+func (ix *Index) CountImagesCtx(ctx context.Context, s []int) (*big.Int, error) {
 	ix.rec.Inc(obs.SSMQueries)
 	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
 	defer span.End()
 	pattern := sortedCopy(s)
-	return ix.countNode(ix.tree.Root, pattern)
+	return ix.countNode(engine.NewCtl(ctx, engine.Budget{}), ix.tree.Root, pattern)
 }
 
 // Enumerate returns the images of S under Aut(G, π), each sorted. limit
 // bounds the number of images (0 = all; beware, counts can be
 // astronomically large — use CountImages first).
 func (ix *Index) Enumerate(s []int, limit int) [][]int {
+	out, err := ix.EnumerateCtx(context.Background(), s, limit)
+	if err != nil {
+		panic("ssm.Enumerate: " + err.Error())
+	}
+	return out
+}
+
+// EnumerateCtx is Enumerate under a context: the enumeration polls ctx
+// throughout (tree nodes, leaf-orbit BFS steps, assignment backtracking)
+// and returns engine.ErrCanceled when it fires, so an astronomically
+// large orbit cannot pin a serving goroutine.
+func (ix *Index) EnumerateCtx(ctx context.Context, s []int, limit int) ([][]int, error) {
 	ix.rec.Inc(obs.SSMQueries)
 	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
 	defer span.End()
 	pattern := sortedCopy(s)
-	return ix.enumNode(ix.tree.Root, pattern, limit)
+	return ix.enumNode(engine.NewCtl(ctx, engine.Budget{}), ix.tree.Root, pattern, limit)
 }
 
 // PatternKey returns a canonical key for the orbit of the vertex set S
 // under Aut(G, π): two sets receive the same key iff they are symmetric.
 // Grouping subgraphs by key is the subgraph clustering of Table 7.
 func (ix *Index) PatternKey(s []int) string {
+	out, err := ix.PatternKeyCtx(context.Background(), s)
+	if err != nil {
+		panic("ssm.PatternKey: " + err.Error())
+	}
+	return out
+}
+
+// PatternKeyCtx is PatternKey under a context; the leaf base case runs a
+// canonical-labeling search, so keys of patterns touching hard leaves
+// are cancelable too.
+func (ix *Index) PatternKeyCtx(ctx context.Context, s []int) (string, error) {
 	ix.rec.Inc(obs.SSMQueries)
 	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
 	defer span.End()
 	pattern := sortedCopy(s)
-	return string(ix.keyNode(ix.tree.Root, pattern))
+	key, err := ix.keyNode(engine.NewCtl(ctx, engine.Budget{}), ix.tree.Root, pattern)
+	if err != nil {
+		return "", err
+	}
+	return string(key), nil
 }
 
 func sortedCopy(s []int) []int {
@@ -182,15 +222,25 @@ func transport(src, dst *core.Node, pattern []int) []int {
 
 // ---- counting ----
 
-func (ix *Index) countNode(nd *core.Node, pattern []int) *big.Int {
+func (ix *Index) countNode(ctl *engine.Ctl, nd *core.Node, pattern []int) (*big.Int, error) {
+	if err := ctl.Poll(); err != nil {
+		return nil, err
+	}
 	if len(pattern) == 0 || nd.Kind == core.KindSingleton {
-		return big.NewInt(1)
+		return big.NewInt(1), nil
 	}
 	if nd.Kind == core.KindLeaf {
-		return big.NewInt(int64(len(ix.leafOrbit(nd, pattern, 0))))
+		orbit, err := ix.leafOrbit(ctl, nd, pattern, 0)
+		if err != nil {
+			return nil, err
+		}
+		return big.NewInt(int64(len(orbit))), nil
 	}
 	ni := ix.nodeInfoOf(nd)
-	pieces := ix.piecesOf(nd, pattern)
+	pieces, err := ix.piecesOf(nd, pattern)
+	if err != nil {
+		return nil, err
+	}
 	total := big.NewInt(1)
 	for _, gi := range ix.patternGroups(nd, pieces) {
 		gr := ni.groups[gi]
@@ -207,11 +257,18 @@ func (ix *Index) countNode(nd *core.Node, pattern []int) *big.Int {
 				continue
 			}
 			ref := transport(nd.Children[ci], members[0], p)
-			key := string(ix.keyNode(members[0], ref))
-			cl, ok := classes[key]
+			key, err := ix.keyNode(ctl, members[0], ref)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := classes[string(key)]
 			if !ok {
-				cl = &class{count: ix.countNode(members[0], ref)}
-				classes[key] = cl
+				count, err := ix.countNode(ctl, members[0], ref)
+				if err != nil {
+					return nil, err
+				}
+				cl = &class{count: count}
+				classes[string(key)] = cl
 			}
 			cl.mult++
 		}
@@ -227,26 +284,32 @@ func (ix *Index) countNode(nd *core.Node, pattern []int) *big.Int {
 			avail -= int64(cl.mult)
 		}
 	}
-	return total
+	return total, nil
 }
 
 // ---- enumeration ----
 
-func (ix *Index) enumNode(nd *core.Node, pattern []int, limit int) [][]int {
+func (ix *Index) enumNode(ctl *engine.Ctl, nd *core.Node, pattern []int, limit int) ([][]int, error) {
+	if err := ctl.Poll(); err != nil {
+		return nil, err
+	}
 	if len(pattern) == 0 {
-		return [][]int{{}}
+		return [][]int{{}}, nil
 	}
 	if nd.Kind == core.KindSingleton {
-		return [][]int{{nd.Verts[0]}}
+		return [][]int{{nd.Verts[0]}}, nil
 	}
 	if nd.Kind == core.KindLeaf {
 		if ix.useSM {
-			return ix.leafOrbitSM(nd, pattern, limit)
+			return ix.leafOrbitSM(ctl, nd, pattern, limit)
 		}
-		return ix.leafOrbit(nd, pattern, limit)
+		return ix.leafOrbit(ctl, nd, pattern, limit)
 	}
 	ni := ix.nodeInfoOf(nd)
-	pieces := ix.piecesOf(nd, pattern)
+	pieces, err := ix.piecesOf(nd, pattern)
+	if err != nil {
+		return nil, err
+	}
 	results := [][]int{{}}
 	for _, gi := range ix.patternGroups(nd, pieces) {
 		gr := ni.groups[gi]
@@ -257,7 +320,10 @@ func (ix *Index) enumNode(nd *core.Node, pattern []int, limit int) [][]int {
 				parts[ci-gr[0]] = p
 			}
 		}
-		groupImages := ix.enumGroup(members, parts, limit)
+		groupImages, err := ix.enumGroup(ctl, members, parts, limit)
+		if err != nil {
+			return nil, err
+		}
 		if len(groupImages) == 0 {
 			continue
 		}
@@ -279,12 +345,12 @@ func (ix *Index) enumNode(nd *core.Node, pattern []int, limit int) [][]int {
 	for _, r := range results {
 		sort.Ints(r)
 	}
-	return results
+	return results, nil
 }
 
 // enumGroup enumerates the images of the nonempty pieces within one
 // equal-certificate sibling group.
-func (ix *Index) enumGroup(members []*core.Node, parts [][]int, limit int) [][]int {
+func (ix *Index) enumGroup(ctl *engine.Ctl, members []*core.Node, parts [][]int, limit int) ([][]int, error) {
 	// Equivalence classes of nonempty pieces.
 	type class struct {
 		rep  []int // representative, transported into members[0]
@@ -299,26 +365,31 @@ func (ix *Index) enumGroup(members []*core.Node, parts [][]int, limit int) [][]i
 		}
 		any = true
 		ref := transport(members[i], members[0], p)
-		key := string(ix.keyNode(members[0], ref))
-		cl, ok := byKey[key]
+		key, err := ix.keyNode(ctl, members[0], ref)
+		if err != nil {
+			return nil, err
+		}
+		cl, ok := byKey[string(key)]
 		if !ok {
 			cl = &class{rep: ref}
-			byKey[key] = cl
+			byKey[string(key)] = cl
 			classes = append(classes, cl)
 		}
 		cl.mult++
 	}
 	if !any {
-		return [][]int{{}}
+		return [][]int{{}}, nil
 	}
 	// Backtrack over assignments: for each class choose mult distinct
 	// member indices, then an image of the class representative within
-	// each chosen member.
+	// each chosen member. A controller error latches in stopErr and
+	// unwinds the whole backtrack.
 	var out [][]int
+	var stopErr error
 	used := make([]bool, len(members))
 	var assign func(ci int, acc [][]int)
 	assign = func(ci int, acc [][]int) {
-		if limit > 0 && len(out) >= limit {
+		if stopErr != nil || (limit > 0 && len(out) >= limit) {
 			return
 		}
 		if ci == len(classes) {
@@ -334,14 +405,14 @@ func (ix *Index) enumGroup(members []*core.Node, parts [][]int, limit int) [][]i
 		idxs := make([]int, 0, cl.mult)
 		var choose func(startIdx int)
 		choose = func(startIdx int) {
-			if limit > 0 && len(out) >= limit {
+			if stopErr != nil || (limit > 0 && len(out) >= limit) {
 				return
 			}
 			if len(idxs) == cl.mult {
 				// For each chosen member, every image of the rep.
 				var fill func(k int, acc2 [][]int)
 				fill = func(k int, acc2 [][]int) {
-					if limit > 0 && len(out) >= limit {
+					if stopErr != nil || (limit > 0 && len(out) >= limit) {
 						return
 					}
 					if k == len(idxs) {
@@ -350,7 +421,12 @@ func (ix *Index) enumGroup(members []*core.Node, parts [][]int, limit int) [][]i
 					}
 					member := members[idxs[k]]
 					rep := transport(members[0], member, cl.rep)
-					for _, img := range ix.enumNode(member, rep, limit) {
+					images, err := ix.enumNode(ctl, member, rep, limit)
+					if err != nil {
+						stopErr = err
+						return
+					}
+					for _, img := range images {
 						fill(k+1, append(acc2, img))
 					}
 				}
@@ -371,14 +447,18 @@ func (ix *Index) enumGroup(members []*core.Node, parts [][]int, limit int) [][]i
 		choose(0)
 	}
 	assign(0, nil)
-	return out
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	return out, nil
 }
 
 // ---- leaf orbits ----
 
 // leafOrbit enumerates the orbit of a pattern (original vertex ids) under
 // the automorphism group of a non-singleton leaf, by BFS over vertex sets.
-func (ix *Index) leafOrbit(nd *core.Node, pattern []int, limit int) [][]int {
+// Orbits can be astronomically large, so every BFS step polls ctl.
+func (ix *Index) leafOrbit(ctl *engine.Ctl, nd *core.Node, pattern []int, limit int) ([][]int, error) {
 	gens := nd.LeafGenerators()
 	// Map to local indices.
 	local := make([]int, len(pattern))
@@ -391,6 +471,9 @@ func (ix *Index) leafOrbit(nd *core.Node, pattern []int, limit int) [][]int {
 	seen := map[string][]int{start: local}
 	queue := [][]int{local}
 	for len(queue) > 0 {
+		if err := ctl.Poll(); err != nil {
+			return nil, err
+		}
 		if limit > 0 && len(seen) >= limit {
 			break
 		}
@@ -415,7 +498,7 @@ func (ix *Index) leafOrbit(nd *core.Node, pattern []int, limit int) [][]int {
 		out = append(out, glob)
 	}
 	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
-	return out
+	return out, nil
 }
 
 func applySet(g perm.Perm, set []int) []int {
@@ -441,7 +524,10 @@ func lessIntSlice(a, b []int) bool {
 // keyNode computes a canonical key of the orbit of pattern within nd: two
 // patterns of nd get equal keys iff some automorphism of (g_nd, πg) maps
 // one to the other.
-func (ix *Index) keyNode(nd *core.Node, pattern []int) []byte {
+func (ix *Index) keyNode(ctl *engine.Ctl, nd *core.Node, pattern []int) ([]byte, error) {
+	if err := ctl.Poll(); err != nil {
+		return nil, err
+	}
 	h := sha256.New()
 	var word [8]byte
 	put := func(x int) {
@@ -450,20 +536,27 @@ func (ix *Index) keyNode(nd *core.Node, pattern []int) []byte {
 	}
 	if len(pattern) == 0 {
 		h.Write([]byte{'e'})
-		return h.Sum(nil)
+		return h.Sum(nil), nil
 	}
 	switch nd.Kind {
 	case core.KindSingleton:
 		h.Write([]byte{'p'})
-		return h.Sum(nil)
+		return h.Sum(nil), nil
 	case core.KindLeaf:
 		h.Write([]byte{'l'})
-		h.Write(ix.leafPatternCert(nd, pattern))
-		return h.Sum(nil)
+		cert, err := ix.leafPatternCert(ctl, nd, pattern)
+		if err != nil {
+			return nil, err
+		}
+		h.Write(cert)
+		return h.Sum(nil), nil
 	default:
 		h.Write([]byte{'i'})
 		ni := ix.nodeInfoOf(nd)
-		pieces := ix.piecesOf(nd, pattern)
+		pieces, err := ix.piecesOf(nd, pattern)
+		if err != nil {
+			return nil, err
+		}
 		for _, gi := range ix.patternGroups(nd, pieces) {
 			gr := ni.groups[gi]
 			members := nd.Children[gr[0]:gr[1]]
@@ -473,7 +566,11 @@ func (ix *Index) keyNode(nd *core.Node, pattern []int) []byte {
 					continue
 				}
 				ref := transport(nd.Children[ci], members[0], p)
-				keys = append(keys, string(ix.keyNode(members[0], ref)))
+				key, err := ix.keyNode(ctl, members[0], ref)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, string(key))
 			}
 			sort.Strings(keys)
 			put(gi)
@@ -482,14 +579,14 @@ func (ix *Index) keyNode(nd *core.Node, pattern []int) []byte {
 				h.Write([]byte(k))
 			}
 		}
-		return h.Sum(nil)
+		return h.Sum(nil), nil
 	}
 }
 
 // leafPatternCert canonically labels the leaf graph with its coloring
 // refined by pattern membership: two patterns are in the same leaf orbit
 // iff the refined colored graphs are isomorphic.
-func (ix *Index) leafPatternCert(nd *core.Node, pattern []int) []byte {
+func (ix *Index) leafPatternCert(ctl *engine.Ctl, nd *core.Node, pattern []int) ([]byte, error) {
 	inPattern := map[int]bool{}
 	for _, v := range pattern {
 		inPattern[v] = true
@@ -523,9 +620,12 @@ func (ix *Index) leafPatternCert(nd *core.Node, pattern []int) []byte {
 	}
 	pi, err := coloring.FromCells(len(nd.Verts), ordered)
 	if err != nil {
-		panic("ssm: bad leaf pattern cells: " + err.Error())
+		return nil, engine.Internalf("ssm.leafPatternCert", "bad leaf pattern cells: %v", err)
 	}
-	res := canon.Canonical(nd.LeafGraph(), pi, canon.Options{})
+	res, err := canon.CanonicalCtl(ctl, nil, nd.LeafGraph(), pi, canon.Options{})
+	if err != nil {
+		return nil, err
+	}
 	// Include the (color, in) profile so equal adjacency with different
 	// membership profiles cannot collide.
 	h := sha256.New()
@@ -542,7 +642,7 @@ func (ix *Index) leafPatternCert(nd *core.Node, pattern []int) []byte {
 		h.Write(word[:])
 	}
 	h.Write(res.Cert)
-	return h.Sum(nil)
+	return h.Sum(nil), nil
 }
 
 // WitnessAutomorphism returns an automorphism γ of G with S1^γ = S2, or
@@ -552,19 +652,39 @@ func (ix *Index) leafPatternCert(nd *core.Node, pattern []int) []byte {
 // equality (cheap) first when the orbit may be astronomically large, and
 // bound the search with maxOrbit (0 = unlimited).
 func (ix *Index) WitnessAutomorphism(s1, s2 []int, maxOrbit int) (perm.Perm, bool) {
+	p, ok, err := ix.WitnessAutomorphismCtx(context.Background(), s1, s2, maxOrbit)
+	if err != nil {
+		panic("ssm.WitnessAutomorphism: " + err.Error())
+	}
+	return p, ok
+}
+
+// WitnessAutomorphismCtx is WitnessAutomorphism under a context: the
+// orbit BFS polls ctx at every step, so an unbounded (maxOrbit = 0)
+// witness search over a huge orbit can still be stopped by the caller.
+func (ix *Index) WitnessAutomorphismCtx(ctx context.Context, s1, s2 []int, maxOrbit int) (perm.Perm, bool, error) {
+	ctl := engine.NewCtl(ctx, engine.Budget{})
 	a := sortedCopy(s1)
 	b := sortedCopy(s2)
 	if len(a) != len(b) {
-		return nil, false
+		return nil, false, nil
 	}
-	if ix.PatternKey(a) != ix.PatternKey(b) {
-		return nil, false
+	ka, err := ix.PatternKeyCtx(ctx, a)
+	if err != nil {
+		return nil, false, err
+	}
+	kb, err := ix.PatternKeyCtx(ctx, b)
+	if err != nil {
+		return nil, false, err
+	}
+	if ka != kb {
+		return nil, false, nil
 	}
 	target := fmt.Sprint(b)
 	n := ix.tree.Graph().N()
 	gens := ix.tree.Generators()
 	if fmt.Sprint(a) == target {
-		return perm.Identity(n), true
+		return perm.Identity(n), true, nil
 	}
 	type entry struct {
 		set []int
@@ -574,6 +694,9 @@ func (ix *Index) WitnessAutomorphism(s1, s2 []int, maxOrbit int) (perm.Perm, boo
 	seen := map[string]bool{fmt.Sprint(a): true}
 	queue := []entry{start}
 	for len(queue) > 0 {
+		if err := ctl.Poll(); err != nil {
+			return nil, false, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		for _, g := range gens {
@@ -585,15 +708,15 @@ func (ix *Index) WitnessAutomorphism(s1, s2 []int, maxOrbit int) (perm.Perm, boo
 			seen[k] = true
 			via := cur.via.Compose(g)
 			if k == target {
-				return via, true
+				return via, true, nil
 			}
 			if maxOrbit > 0 && len(seen) >= maxOrbit {
-				return nil, false
+				return nil, false, nil
 			}
 			queue = append(queue, entry{set: img, via: via})
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // SelectImage enumerates up to limit images of S under Aut(G) and returns
