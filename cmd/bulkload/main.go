@@ -34,12 +34,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"dvicl"
 	"dvicl/internal/graph"
@@ -71,7 +73,9 @@ func main() {
 	reportPath := flag.String("report", "", "write the ingest report JSON here (empty = stdout)")
 	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file")
 	progress := flag.Int64("progress", 0, "log progress to stderr every n records (0 = off)")
+	slowBuild := flag.Duration("slow-build", 0, "log a structured line for any single canonicalization at least this slow (0 = off)")
 	flag.Parse()
+	slogger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	src, closeIn, err := openSource(*in, *format)
 	if err != nil {
@@ -114,7 +118,13 @@ func main() {
 		Canon: func(ctx context.Context, g *graph.Graph, wrec *obs.Recorder) (string, error) {
 			o := opt
 			o.Obs = wrec
+			start := time.Now()
 			cert, err := dvicl.CanonicalCertCtx(ctx, g, nil, o)
+			if d := time.Since(start); *slowBuild > 0 && d >= *slowBuild {
+				slogger.Warn("slow build",
+					slog.Int("n", g.N()), slog.Int("m", g.M()),
+					slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)))
+			}
 			return string(cert), err
 		},
 		Apply: func(seq int64, cert string) error {

@@ -20,7 +20,7 @@ import (
 func newCancelTestServer() (*server, *dvicl.MetricsRecorder, *dvicl.GraphIndex) {
 	rec := dvicl.NewMetricsRecorder()
 	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
-	return newServer(ix, rec, 8, 1<<20, 0, 0), rec, ix
+	return newServer(ix, rec, serverConfig{MaxInflight: 8, MaxVerts: 1 << 20}), rec, ix
 }
 
 // TestCanceledRequestIs503 drives /add and /lookup with a request whose

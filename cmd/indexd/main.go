@@ -10,6 +10,7 @@
 //	       [-compact-every n] [-max-inflight n] [-max-verts n]
 //	       [-max-body-bytes n] [-timeout d] [-build-timeout d] [-workers n]
 //	       [-bulk-workers n] [-metrics-json out.json] [-debug-addr :6060]
+//	       [-slow-build d] [-flight-recorder n]
 //
 // Endpoints (JSON; see docs/OPERATIONS.md for curl examples):
 //
@@ -20,7 +21,14 @@
 //	POST /bulk     streaming graph6 body, one record per line → ingest report
 //	POST /flush    force a snapshot compaction → index stats
 //	GET  /stats    index + cache + counter statistics
+//	GET  /metrics  Prometheus text exposition (counters, phase histograms, gauges)
+//	GET  /debug/builds  flight recorder: recent + slow builds with span trees
 //	GET  /healthz  liveness ("ok", 200)
+//
+// Graph-processing requests carry a request id (the client's X-Request-Id
+// or a generated one), echoed in the response header and error bodies; a
+// Trace of each build is kept in the flight recorder, and builds slower
+// than -slow-build are logged as structured slow-build lines.
 //
 // With -data the index is durable: every Add is write-through logged to a
 // WAL and periodically compacted into a snapshot; restart (even kill -9)
@@ -38,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -65,6 +74,8 @@ func main() {
 	bulkWorkers := flag.Int("bulk-workers", 0, "parallel canonicalization workers for /bulk (0 = NumCPU)")
 	metricsJSON := flag.String("metrics-json", "", "write the observability snapshot to this file on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
+	slowBuild := flag.Duration("slow-build", time.Second, "retain and log builds at least this slow in the flight recorder's slow ring (0 = disable)")
+	flightSize := flag.Int("flight-recorder", 64, "completed builds kept per flight-recorder ring (/debug/builds)")
 	flag.Parse()
 
 	rec := dvicl.NewMetricsRecorder()
@@ -100,7 +111,15 @@ func main() {
 		log.Printf("indexd: debug server on http://%s/debug/pprof/", dbg.Addr)
 	}
 
-	srv := newServer(ix, rec, *maxInflight, *maxVerts, *maxBodyBytes, *bulkWorkers)
+	srv := newServer(ix, rec, serverConfig{
+		MaxInflight:  *maxInflight,
+		MaxVerts:     *maxVerts,
+		MaxBodyBytes: *maxBodyBytes,
+		BulkWorkers:  *bulkWorkers,
+		SlowBuild:    *slowBuild,
+		FlightSize:   *flightSize,
+		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
 	srv.buildOpt = opt.DviCL
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -2,11 +2,16 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"dvicl"
@@ -54,7 +59,8 @@ type batchResp struct {
 }
 
 type errResp struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // bulkResp is the /bulk ingest report: the pipeline totals for this
@@ -83,10 +89,36 @@ const (
 	// startup, small enough that interactive traffic interleaves with a
 	// long-running stream.
 	bulkChunkRecords = 256
+	// defaultFlightSize is each flight-recorder ring's capacity when
+	// -flight-recorder is unset.
+	defaultFlightSize = 64
+	// maxRequestIDLen caps accepted X-Request-Id values; longer (or
+	// non-printable) ids are replaced with a generated one.
+	maxRequestIDLen = 64
 )
 
-// server holds the daemon's state: the index, the recorder, and the
-// admission control for the graph-processing endpoints.
+// serverConfig bundles the daemon's request-handling knobs (the flag
+// surface of main, minus the index itself).
+type serverConfig struct {
+	// MaxInflight is the admission-semaphore width for graph-processing
+	// endpoints; MaxVerts/MaxBodyBytes reject oversized inputs;
+	// BulkWorkers is the /bulk canonicalization pool (0 = NumCPU).
+	MaxInflight  int
+	MaxVerts     int
+	MaxBodyBytes int64
+	BulkWorkers  int
+	// SlowBuild is the flight-recorder slow threshold (-slow-build):
+	// completed builds at least this slow are retained in the slow ring
+	// and logged. 0 disables the slow ring and the log line.
+	SlowBuild time.Duration
+	// FlightSize is each flight-recorder ring's capacity (-flight-recorder).
+	FlightSize int
+	// Logger receives the structured slow-build lines; nil disables them.
+	Logger *slog.Logger
+}
+
+// server holds the daemon's state: the index, the recorder, the flight
+// recorder, and the admission control for graph-processing endpoints.
 type server struct {
 	ix           *dvicl.GraphIndex
 	rec          *dvicl.MetricsRecorder // alias of *obs.Recorder
@@ -95,23 +127,28 @@ type server struct {
 	maxBodyBytes int64
 	bulkWorkers  int
 	buildOpt     dvicl.Options // per-build options (Budget, Workers) for /bulk canonicalization
+	flight       *flightRecorder
 	start        time.Time
 }
 
-func newServer(ix *dvicl.GraphIndex, rec *dvicl.MetricsRecorder, maxInflight, maxVerts int, maxBodyBytes int64, bulkWorkers int) *server {
-	if maxBodyBytes <= 0 {
-		maxBodyBytes = defaultMaxBodyBytes
+func newServer(ix *dvicl.GraphIndex, rec *dvicl.MetricsRecorder, cfg serverConfig) *server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	if bulkWorkers <= 0 {
-		bulkWorkers = runtime.NumCPU()
+	if cfg.BulkWorkers <= 0 {
+		cfg.BulkWorkers = runtime.NumCPU()
+	}
+	if cfg.FlightSize <= 0 {
+		cfg.FlightSize = defaultFlightSize
 	}
 	return &server{
 		ix:           ix,
 		rec:          rec,
-		sem:          make(chan struct{}, maxInflight),
-		maxVerts:     maxVerts,
-		maxBodyBytes: maxBodyBytes,
-		bulkWorkers:  bulkWorkers,
+		sem:          make(chan struct{}, cfg.MaxInflight),
+		maxVerts:     cfg.MaxVerts,
+		maxBodyBytes: cfg.MaxBodyBytes,
+		bulkWorkers:  cfg.BulkWorkers,
+		flight:       newFlightRecorder(cfg.FlightSize, cfg.SlowBuild, cfg.Logger),
 		start:        time.Now(),
 	}
 }
@@ -122,20 +159,25 @@ func newServer(ix *dvicl.GraphIndex, rec *dvicl.MetricsRecorder, maxInflight, ma
 // backpressure per chunk instead.
 func (s *server) handler(timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /add", s.limited(s.handleAdd))
-	mux.HandleFunc("POST /lookup", s.limited(s.handleLookup))
-	mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
+	mux.HandleFunc("POST /add", s.limited(s.traced("add", s.handleAdd)))
+	mux.HandleFunc("POST /lookup", s.limited(s.traced("lookup", s.handleLookup)))
+	mux.HandleFunc("POST /batch", s.limited(s.traced("batch", s.handleBatch)))
 	mux.HandleFunc("POST /flush", s.limited(s.handleFlush))
 	mux.HandleFunc("GET /stats", s.instrumented(s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrumented(s.handleMetrics))
+	mux.HandleFunc("GET /debug/builds", s.instrumented(s.flight.handleBuilds))
 	mux.HandleFunc("GET /healthz", s.instrumented(s.handleHealthz))
 	body := `{"error":"request timed out"}` + "\n"
 	outer := http.NewServeMux()
-	outer.HandleFunc("POST /bulk", s.instrumented(s.handleBulk))
+	outer.HandleFunc("POST /bulk", s.instrumented(s.traced("bulk", s.handleBulk)))
 	outer.Handle("/", http.TimeoutHandler(mux, timeout, body))
 	return outer
 }
 
 // instrumented counts the request, times it, and tracks error statuses.
+// Throttled 503s pass through the same statusWriter, so they are counted
+// in http_errors as well as http_throttled — an invariant pinned by
+// TestThrottleCountsBothCounters.
 func (s *server) instrumented(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.rec.Inc(obs.HTTPRequests)
@@ -167,6 +209,117 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	})
 }
 
+// reqInfo is the per-request record the traced middleware and the
+// handlers share: identity, the live trace, the graph dimensions (filled
+// in once the body is decoded), and how the request ended.
+type reqInfo struct {
+	id string
+	tr *dvicl.Trace
+
+	mu      sync.Mutex
+	n, m    int
+	outcome string
+	errMsg  string
+}
+
+// noteGraph records the request's graph size (the largest seen, so a
+// batch reports its dominant graph).
+func (ri *reqInfo) noteGraph(n, m int) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	if n > ri.n {
+		ri.n, ri.m = n, m
+	}
+	ri.mu.Unlock()
+}
+
+// fail records the terminal outcome of a failed request.
+func (ri *reqInfo) fail(outcome, msg string) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.outcome, ri.errMsg = outcome, msg
+	ri.mu.Unlock()
+}
+
+type reqInfoKey struct{}
+
+// reqInfoFrom returns the request's reqInfo, or nil outside traced
+// endpoints.
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// requestID returns the client's X-Request-Id when it is well-formed
+// (printable ASCII, bounded length), or a fresh random id.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id != "" && len(id) <= maxRequestIDLen {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			if id[i] <= ' ' || id[i] > '~' {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traced wraps a graph-processing handler with the request-scoped
+// observability: a request id (accepted or generated, echoed in the
+// X-Request-Id response header and error bodies), a Trace on the context
+// that the build/lookup layers attach their span trees to, and — when the
+// request completes — a buildRecord filed in the flight recorder, with a
+// structured slow-build log line past the -slow-build threshold.
+func (s *server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ri := &reqInfo{id: requestID(r)}
+		ri.tr = dvicl.NewTrace(ri.id, s.rec)
+		w.Header().Set("X-Request-Id", ri.id)
+		ctx := dvicl.WithTrace(r.Context(), ri.tr)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		ri.tr.Root().End()
+
+		ri.mu.Lock()
+		outcome, errMsg, n, m := ri.outcome, ri.errMsg, ri.n, ri.m
+		ri.mu.Unlock()
+		if outcome == "" {
+			if sw.status >= 400 {
+				outcome = "error"
+			} else {
+				outcome = "ok"
+			}
+		}
+		s.flight.record(buildRecord{
+			RequestID: ri.id,
+			Endpoint:  endpoint,
+			Status:    sw.status,
+			Outcome:   outcome,
+			Error:     errMsg,
+			GraphN:    n,
+			GraphM:    m,
+			Start:     start,
+			DurMs:     float64(time.Since(start)) / float64(time.Millisecond),
+			Trace:     ri.tr.Snapshot(),
+		})
+	}
+}
+
 // statusWriter records the status code for the error counter.
 type statusWriter struct {
 	http.ResponseWriter
@@ -178,26 +331,46 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// writeErr sends a JSON error carrying the request id and records the
+// outcome on the request's reqInfo ("error" unless already set).
+func (s *server) writeErr(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	resp := errResp{Error: msg}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		resp.RequestID = ri.id
+		ri.mu.Lock()
+		if ri.outcome == "" {
+			ri.outcome = "error"
+		}
+		ri.errMsg = msg
+		ri.mu.Unlock()
+	}
+	writeJSON(w, status, resp)
+}
+
 // buildError maps a certificate-build error onto an HTTP response,
 // reporting whether there was one to handle. A canceled build (client
 // disconnect, or the TimeoutHandler expiring the request context
 // mid-canonicalization) and an exhausted build budget are 503s — the
 // request was shed, not malformed; cancellations also bump
-// index_canceled so load shedding is visible in /stats.
-func (s *server) buildError(w http.ResponseWriter, err error) bool {
+// index_canceled so load shedding is visible in /stats. The outcome is
+// recorded on the request's reqInfo for the flight recorder.
+func (s *server) buildError(w http.ResponseWriter, r *http.Request, err error) bool {
+	ri := reqInfoFrom(r.Context())
 	switch {
 	case err == nil:
 		return false
 	case errors.Is(err, dvicl.ErrCanceled):
 		s.rec.Inc(obs.IndexCanceled)
+		ri.fail("canceled", err.Error())
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: "request canceled"})
+		s.writeErr(w, r, http.StatusServiceUnavailable, "request canceled")
 	case errors.Is(err, dvicl.ErrBudgetExceeded):
-		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: "build budget exceeded"})
+		ri.fail("budget_exceeded", err.Error())
+		s.writeErr(w, r, http.StatusServiceUnavailable, "build budget exceeded")
 	case errors.Is(err, dvicl.ErrIndexClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: err.Error()})
+		s.writeErr(w, r, http.StatusServiceUnavailable, err.Error())
 	default:
-		writeJSON(w, http.StatusInternalServerError, errResp{Error: err.Error()})
+		s.writeErr(w, r, http.StatusInternalServerError, err.Error())
 	}
 	return true
 }
@@ -259,11 +432,12 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := s.decodeGraph(&req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		s.writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	reqInfoFrom(r.Context()).noteGraph(g.N(), g.M())
 	id, dup, err := s.ix.AddCtx(r.Context(), g)
-	if s.buildError(w, err) {
+	if s.buildError(w, r, err) {
 		return
 	}
 	writeJSON(w, http.StatusOK, addResp{ID: id, Duplicate: dup})
@@ -276,11 +450,12 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := s.decodeGraph(&req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		s.writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	reqInfoFrom(r.Context()).noteGraph(g.N(), g.M())
 	ids, err := s.ix.LookupCtx(r.Context(), g)
-	if s.buildError(w, err) {
+	if s.buildError(w, r, err) {
 		return
 	}
 	if ids == nil {
@@ -295,8 +470,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Ops) > maxBatchOps {
-		writeJSON(w, http.StatusBadRequest,
-			errResp{Error: fmt.Sprintf("batch of %d ops exceeds limit %d", len(req.Ops), maxBatchOps)})
+		s.writeErr(w, r, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d ops exceeds limit %d", len(req.Ops), maxBatchOps))
 		return
 	}
 	resp := batchResp{Results: make([]batchResult, len(req.Ops))}
@@ -308,6 +483,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			res.Error = err.Error()
 			continue
 		}
+		reqInfoFrom(r.Context()).noteGraph(g.N(), g.M())
 		switch op.Op {
 		case "add":
 			id, dup, err := s.ix.AddCtx(r.Context(), g)
@@ -315,7 +491,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				// A canceled/over-budget request is dead as a whole, not
 				// per-op: stop burning CPU on the remaining ops.
 				if errors.Is(err, dvicl.ErrCanceled) || errors.Is(err, dvicl.ErrBudgetExceeded) {
-					s.buildError(w, err)
+					s.buildError(w, r, err)
 					return
 				}
 				res.Error = err.Error()
@@ -326,7 +502,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ids, err := s.ix.LookupCtx(r.Context(), g)
 			if err != nil {
 				if errors.Is(err, dvicl.ErrCanceled) || errors.Is(err, dvicl.ErrBudgetExceeded) {
-					s.buildError(w, err)
+					s.buildError(w, r, err)
 					return
 				}
 				res.Error = err.Error()
@@ -391,7 +567,7 @@ func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
 				return string(cert), err
 			},
 			Apply: func(seq int64, cert string) error {
-				_, dup, err := s.ix.AddCert(cert)
+				_, dup, err := s.ix.AddCertCtx(r.Context(), cert)
 				if err != nil {
 					return err
 				}
@@ -417,8 +593,12 @@ func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
 			switch {
 			case errors.Is(err, dvicl.ErrCanceled):
 				s.rec.Inc(obs.IndexCanceled)
+				reqInfoFrom(r.Context()).fail("canceled", err.Error())
 				status = http.StatusServiceUnavailable
-			case errors.Is(err, dvicl.ErrBudgetExceeded), errors.Is(err, dvicl.ErrIndexClosed):
+			case errors.Is(err, dvicl.ErrBudgetExceeded):
+				reqInfoFrom(r.Context()).fail("budget_exceeded", err.Error())
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, dvicl.ErrIndexClosed):
 				status = http.StatusServiceUnavailable
 			}
 			return status, err
@@ -442,13 +622,13 @@ func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		if status, err := runChunk(chunk, firstLine); err != nil {
 			if status != 0 {
-				writeJSON(w, status, errResp{Error: err.Error()})
+				s.writeErr(w, r, status, err.Error())
 			}
 			return
 		}
 	}
 	if err := sc.Err(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errResp{Error: "read stream: " + err.Error()})
+		s.writeErr(w, r, http.StatusBadRequest, "read stream: "+err.Error())
 		return
 	}
 
@@ -475,6 +655,33 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Index:         s.ix.Stats(),
 		Counters:      s.rec.Snapshot().Counters,
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: every counter as
+// a dvicl_*_total series, the phase timers as one histogram family, and
+// the live IndexStats as gauges (including a per-shard graphs series for
+// watching the certificate hash balance).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	gauges := []obs.PromGauge{
+		{Name: "index_graphs", Help: "Graphs stored in the index.", Value: float64(st.Graphs)},
+		{Name: "index_classes", Help: "Distinct isomorphism classes stored.", Value: float64(st.Classes)},
+		{Name: "index_duplicates", Help: "Adds collapsed onto an existing class.", Value: float64(st.Duplicates)},
+		{Name: "index_shards", Help: "Configured shard count.", Value: float64(st.Shards)},
+		{Name: "index_cache_entries", Help: "Certificate LRU cache entries.", Value: float64(st.CacheEntries)},
+		{Name: "index_wal_records", Help: "WAL appends since the last snapshot, summed across shards.", Value: float64(st.WALRecords)},
+		{Name: "uptime_seconds", Help: "Seconds since the daemon started.", Value: time.Since(s.start).Seconds()},
+	}
+	for i, n := range st.ShardGraphs {
+		gauges = append(gauges, obs.PromGauge{
+			Name:   "index_shard_graphs",
+			Help:   "Graphs stored per shard (certificate hash balance).",
+			Labels: []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}},
+			Value:  float64(n),
+		})
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = obs.WriteProm(w, s.rec.Snapshot(), gauges)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

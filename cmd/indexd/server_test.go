@@ -27,7 +27,7 @@ func newTestServer(t *testing.T, dir string) (*httptest.Server, *dvicl.GraphInde
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(ix, rec, 8, 1<<20, 0, 0)
+	srv := newServer(ix, rec, serverConfig{MaxInflight: 8, MaxVerts: 1 << 20})
 	ts := httptest.NewServer(srv.handler(10 * time.Second))
 	t.Cleanup(ts.Close)
 	return ts, ix
@@ -220,7 +220,7 @@ func TestFlushEndpoint(t *testing.T) {
 func TestBackpressure(t *testing.T) {
 	rec := dvicl.NewMetricsRecorder()
 	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
-	srv := newServer(ix, rec, 1, 1<<20, 0, 0)
+	srv := newServer(ix, rec, serverConfig{MaxInflight: 1, MaxVerts: 1 << 20})
 
 	// Hold the only token.
 	release := make(chan struct{})
@@ -343,7 +343,7 @@ func TestBulkPersistentSharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(ix, rec, 8, 1<<20, 0, 2)
+	srv := newServer(ix, rec, serverConfig{MaxInflight: 8, MaxVerts: 1 << 20, BulkWorkers: 2})
 	ts := httptest.NewServer(srv.handler(10 * time.Second))
 	defer ts.Close()
 
@@ -370,7 +370,7 @@ func TestBulkPersistentSharded(t *testing.T) {
 func TestMaxBodyBytes(t *testing.T) {
 	rec := dvicl.NewMetricsRecorder()
 	ix := dvicl.NewGraphIndex(dvicl.Options{Obs: rec})
-	srv := newServer(ix, rec, 8, 1<<20, 64, 0)
+	srv := newServer(ix, rec, serverConfig{MaxInflight: 8, MaxVerts: 1 << 20, MaxBodyBytes: 64})
 	ts := httptest.NewServer(srv.handler(10 * time.Second))
 	defer ts.Close()
 

@@ -139,6 +139,25 @@ type MetricsSnapshot = obs.Snapshot
 // recorder (see ServeDebug).
 type DebugServer = obs.DebugServer
 
+// Trace is a request-scoped observability unit: a hierarchical span tree
+// plus the request's own counter deltas, recorded alongside (and
+// forwarded to) a global MetricsRecorder. Create one with NewTrace, put
+// it on a context with WithTrace, and every ctx-aware entry point
+// (BuildAutoTreeCtx, CanonicalCertCtx, GraphIndex.AddCtx/LookupCtx, the
+// SSM queries, the bulk pipeline) records into it. A nil *Trace is a
+// valid disabled trace; all methods no-op.
+type Trace = obs.Trace
+
+// TraceSpan is one node of a Trace's span tree; nil is a valid no-op span.
+type TraceSpan = obs.TraceSpan
+
+// TraceSnapshot is the JSON form of a Trace: span tree, per-request
+// counter deltas, and phase timings.
+type TraceSnapshot = obs.TraceSnapshot
+
+// SpanSnapshot is the JSON form of one span in a TraceSnapshot's tree.
+type SpanSnapshot = obs.SpanSnapshot
+
 // NewBuilder returns a Builder for a graph on n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
@@ -287,6 +306,22 @@ func NewSSMIndex(t *AutoTree) *SSMIndex { return ssm.NewIndex(t) }
 
 // NewMetricsRecorder returns an empty enabled recorder.
 func NewMetricsRecorder() *MetricsRecorder { return obs.New() }
+
+// NewTrace starts a request trace whose observations are kept as
+// per-request deltas and forwarded to base (pass the recorder your
+// Options.Obs uses, or nil for a standalone trace).
+func NewTrace(id string, base *MetricsRecorder) *Trace { return obs.NewTrace(id, base) }
+
+// WithTrace returns ctx carrying tr; ctx-aware dvicl entry points record
+// their spans and counters into it.
+func WithTrace(ctx context.Context, tr *Trace) context.Context { return obs.WithTrace(ctx, tr) }
+
+// TraceFrom returns the Trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace { return obs.TraceFrom(ctx) }
+
+// DetachTrace shadows any trace in ctx (keeping its cancellation): use it
+// when fanning one traced request out into many parallel builds.
+func DetachTrace(ctx context.Context) context.Context { return obs.DetachTrace(ctx) }
 
 // ServeDebug exposes a recorder's live snapshot plus net/http/pprof and
 // expvar on addr (e.g. "localhost:6060"; port ":0" picks a free one) so

@@ -1,9 +1,12 @@
 package dvicl_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 
 	"dvicl"
+	"dvicl/internal/gen"
 )
 
 // ExampleIsomorphic shows the canonical-certificate isomorphism test on a
@@ -80,6 +83,41 @@ func ExampleGraphIndex() {
 	// 2 false
 	// [0 1]
 	// 3 2
+}
+
+// ExampleTrace captures a request-scoped span tree for one certificate
+// build on a small CFI graph (the paper's hard family for refinement
+// alone). The trace records where the build spent its time — refinement,
+// divisions, leaf searches — plus this request's own counter deltas,
+// without changing the certificate in any way.
+func ExampleTrace() {
+	g := gen.CFI(gen.RigidCubic(8, 1), false)
+
+	tr := dvicl.NewTrace("req-42", nil)
+	ctx := dvicl.WithTrace(context.Background(), tr)
+	cert, err := dvicl.CanonicalCertCtx(ctx, g, nil, dvicl.Options{})
+	if err != nil {
+		panic(err)
+	}
+	tr.Root().End()
+
+	snap := tr.Snapshot()
+	fmt.Println("trace:", snap.ID)
+	fmt.Println(snap.Spans.Name)
+	build := snap.Spans.Children[0]
+	fmt.Println("-", build.Name)
+	fmt.Println("  -", build.Children[0].Name)
+	fmt.Println("build span graph size:", build.Attrs["n"])
+	fmt.Println("refinement recorded:", snap.Counters["refine_calls"] > 0)
+	fmt.Println("certificate unchanged:", bytes.Equal(cert, dvicl.CanonicalCert(g, nil, dvicl.Options{})))
+	// Output:
+	// trace: req-42
+	// request
+	// - build
+	//   - refine
+	// build span graph size: 80
+	// refinement recorded: true
+	// certificate unchanged: true
 }
 
 // ExampleAutomorphismGroup extracts generators and verifies one.

@@ -280,22 +280,39 @@ func (ix *GraphIndex) Add(g *Graph) (id int, duplicate bool, err error) {
 	return ix.AddCtx(context.Background(), g)
 }
 
+// recorderFor resolves the recorder for one ctx-scoped operation: the
+// trace's forwarding recorder when ctx carries a trace (per-request
+// deltas plus the global base), the index's own recorder otherwise. The
+// invariant callers must keep — indexd does — is that a trace on ctx was
+// created over this index's recorder, so the base still sees everything.
+func (ix *GraphIndex) recorderFor(ctx context.Context) *obs.Recorder {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		return tr.Recorder()
+	}
+	return ix.opt.Obs
+}
+
 // AddCtx is Add with a context bounding the certificate build: if ctx is
 // canceled (or the index's Budget is exhausted) mid-canonicalization, the
 // build stops promptly and AddCtx returns ErrCanceled/ErrBudgetExceeded
 // with the index unchanged. The shard insert itself is not cancelable —
 // once the certificate exists the insert is O(1) plus a WAL append.
 func (ix *GraphIndex) AddCtx(ctx context.Context, g *Graph) (id int, duplicate bool, err error) {
-	rec := ix.opt.Obs
+	rec := ix.recorderFor(ctx)
 	rec.Inc(obs.IndexAdds)
 	span := rec.StartPhase(obs.PhaseIndexAdd)
 	defer span.End()
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), "index_add")
+	defer ts.End()
+	if ts != nil {
+		ctx = obs.WithSpan(ctx, ts) // the build span nests below
+	}
 
 	cert, err := ix.certOfCtx(ctx, g) // outside any lock: pure, possibly expensive
 	if err != nil {
 		return 0, false, err
 	}
-	return ix.addCert(cert)
+	return ix.addCert(cert, rec)
 }
 
 // AddCert inserts a precomputed canonical certificate, exactly as if the
@@ -303,12 +320,20 @@ func (ix *GraphIndex) AddCtx(ctx context.Context, g *Graph) (id int, duplicate b
 // pipeline, where certificates were already built by parallel workers;
 // normal callers use Add.
 func (ix *GraphIndex) AddCert(cert string) (id int, duplicate bool, err error) {
-	ix.opt.Obs.Inc(obs.IndexAdds)
-	return ix.addCert(cert)
+	return ix.AddCertCtx(context.Background(), cert)
 }
 
-func (ix *GraphIndex) addCert(cert string) (id int, duplicate bool, err error) {
-	rec := ix.opt.Obs
+// AddCertCtx is AddCert under a context: the insert itself is not
+// cancelable (O(1) plus a WAL append), but a trace on ctx receives the
+// index/WAL counters as request deltas. No span is recorded — bulk apply
+// calls this once per record, and span-per-record would drown the tree.
+func (ix *GraphIndex) AddCertCtx(ctx context.Context, cert string) (id int, duplicate bool, err error) {
+	rec := ix.recorderFor(ctx)
+	rec.Inc(obs.IndexAdds)
+	return ix.addCert(cert, rec)
+}
+
+func (ix *GraphIndex) addCert(cert string, rec *obs.Recorder) (id int, duplicate bool, err error) {
 	shardID := ix.shardOf(cert)
 	sh := ix.shards[shardID]
 
@@ -362,10 +387,15 @@ func (ix *GraphIndex) Lookup(g *Graph) []int {
 // cancellation or budget exhaustion it returns a nil slice and the typed
 // error.
 func (ix *GraphIndex) LookupCtx(ctx context.Context, g *Graph) ([]int, error) {
-	rec := ix.opt.Obs
+	rec := ix.recorderFor(ctx)
 	rec.Inc(obs.IndexLookups)
 	span := rec.StartPhase(obs.PhaseIndexLookup)
 	defer span.End()
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), "index_lookup")
+	defer ts.End()
+	if ts != nil {
+		ctx = obs.WithSpan(ctx, ts)
+	}
 
 	cert, err := ix.certOfCtx(ctx, g)
 	if err != nil {
@@ -519,16 +549,12 @@ func (ix *GraphIndex) Stats() IndexStats {
 		ReplayedRecords: ix.replayedAtOpen,
 		RecoveredBytes:  ix.recoveredBytes,
 	}
-	if len(ix.shards) > 1 {
-		s.ShardGraphs = make([]int, len(ix.shards))
-	}
+	s.ShardGraphs = make([]int, len(ix.shards))
 	for i, sh := range ix.shards {
 		sh.mu.RLock()
 		s.Graphs += len(sh.certs)
 		s.Classes += len(sh.classes)
-		if s.ShardGraphs != nil {
-			s.ShardGraphs[i] = len(sh.certs)
-		}
+		s.ShardGraphs[i] = len(sh.certs)
 		if sh.st != nil {
 			s.WALRecords += sh.st.SinceSnapshot()
 		}
@@ -573,12 +599,14 @@ func (ix *GraphIndex) certOfCtx(ctx context.Context, g *Graph) (string, error) {
 		cert, err := CanonicalCertCtx(ctx, g, nil, ix.opt)
 		return string(cert), err
 	}
+	rec := ix.recorderFor(ctx)
 	key := g.Hash()
 	if cert, ok := ix.cache.get(key); ok {
-		ix.opt.Obs.Inc(obs.CertCacheHits)
+		rec.Inc(obs.CertCacheHits)
+		obs.SpanFrom(ctx).SetAttr("cache_hit", 1)
 		return cert, nil
 	}
-	ix.opt.Obs.Inc(obs.CertCacheMisses)
+	rec.Inc(obs.CertCacheMisses)
 	raw, err := CanonicalCertCtx(ctx, g, nil, ix.opt)
 	if err != nil {
 		return "", err

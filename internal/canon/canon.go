@@ -73,6 +73,10 @@ type Options struct {
 	// refinement counters of every Refine the search performs. Search
 	// counts are accumulated locally and flushed once per Canonical call.
 	Obs *obs.Recorder
+	// Span, when non-nil, receives the search-effort summary as trace
+	// attributes (nodes, leaves, automorphisms, truncated) when the search
+	// finishes. The caller owns the span's lifetime. Nil-safe.
+	Span *obs.TraceSpan
 }
 
 // Result is the outcome of a canonical-labeling search.
@@ -162,6 +166,12 @@ func CanonicalCtl(ctl *engine.Ctl, ws *engine.Workspace, g *graph.Graph, pi *col
 		if res.Truncated {
 			rec.Inc(obs.Truncations)
 		}
+	}
+	opt.Span.SetAttr("nodes", res.Nodes)
+	opt.Span.SetAttr("leaves", res.Leaves)
+	opt.Span.SetAttr("automorphisms", int64(len(res.Generators)))
+	if res.Truncated {
+		opt.Span.SetAttr("truncated", 1)
 	}
 	return res, s.stopErr
 }

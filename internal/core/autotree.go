@@ -62,6 +62,12 @@ type Options struct {
 	// divide, combine) and effort counters for the whole build, including
 	// every leaf search's. A nil recorder costs one predictable branch
 	// per instrumentation point.
+	//
+	// When the BuildCtx context carries an obs.Trace, the build records
+	// into the trace's forwarding recorder instead, which both captures
+	// the request's deltas and forwards to the trace's base recorder —
+	// so indexd-style callers should create the trace over the same
+	// recorder they would have passed here.
 	Obs *obs.Recorder
 }
 
@@ -267,12 +273,25 @@ func BuildCtx(ctx context.Context, g *graph.Graph, pi *coloring.Coloring, opt Op
 	ctl := engine.NewCtl(ctx, budget)
 	ws := engine.GetWorkspace(n)
 	defer engine.PutWorkspace(ws)
+	// A trace on the context redirects observations into its forwarding
+	// recorder: the request keeps its own deltas, the original opt.Obs
+	// (the trace's base) still sees every increment exactly once.
+	tr := obs.TraceFrom(ctx)
+	if tr != nil {
+		opt.Obs = tr.Recorder()
+	}
+	span := tr.StartSpan(obs.SpanFrom(ctx), "build")
+	span.SetAttr("n", int64(n))
+	span.SetAttr("m", int64(g.M()))
+	defer span.End()
 	buildSpan := opt.Obs.StartPhase(obs.PhaseBuild)
 	defer buildSpan.End()
 	// Line 1–2 of Algorithm 1: equitable refinement, then color values.
+	rs := span.Child("refine")
 	refineSpan := opt.Obs.StartPhase(obs.PhaseRefine)
 	_, err := pi.RefineWS(g, nil, ws, ctl, opt.Obs)
 	refineSpan.End()
+	rs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -281,20 +300,20 @@ func BuildCtx(ctx context.Context, g *graph.Graph, pi *coloring.Coloring, opt Op
 		colors[v] = pi.Color(v)
 	}
 	t := &Tree{g: g, colors: colors, leafOf: make([]int, n)}
-	b := &builder{t: t, opt: opt, budget: budget, ctl: ctl, scratch: newScratch(n)}
+	b := &builder{t: t, opt: opt, budget: budget, ctl: ctl, scratch: newScratch(n), tr: tr}
 	if opt.Workers > 1 {
 		b.sem = make(chan struct{}, opt.Workers-1)
 	}
 
 	var root *Node
 	if !opt.DisableTwinSimplification {
-		root, err = b.buildSimplified(ws)
+		root, err = b.buildSimplified(ws, span)
 	} else {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		root, err = b.cl(b.subgraphOf(all), ws)
+		root, err = b.cl(b.subgraphOf(all), ws, span)
 	}
 	if err != nil {
 		return nil, err

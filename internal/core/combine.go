@@ -60,7 +60,13 @@ func (d *descriptor) bytes() []byte { return d.buf.Bytes() }
 // rooted at (g, πg), refining in ws (owned by this goroutine). It stops
 // with the controller's error as soon as the build is canceled or over
 // budget — every tree node is a cancellation checkpoint.
-func (b *builder) cl(sg *subgraph, ws *engine.Workspace) (*Node, error) {
+//
+// ts is the enclosing trace span (nil when untraced): each divided node
+// hangs a "divide_i"/"divide_s" span under it and recurses with that span
+// as the parent, so the span tree mirrors the AutoTree's division
+// structure. Singleton leaves record no span; the trace's span cap bounds
+// pathological trees.
+func (b *builder) cl(sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) (*Node, error) {
 	if err := b.ctl.Poll(); err != nil {
 		return nil, err
 	}
@@ -85,7 +91,7 @@ func (b *builder) cl(sg *subgraph, ws *engine.Workspace) (*Node, error) {
 		spanS.End()
 	}
 	if div == nil {
-		if err := b.combineCL(nd, sg, ws); err != nil {
+		if err := b.combineCL(nd, sg, ws, ts); err != nil {
 			return nil, err
 		}
 		return nd, nil
@@ -93,12 +99,21 @@ func (b *builder) cl(sg *subgraph, ws *engine.Workspace) (*Node, error) {
 	nd.Kind = KindInternal
 	nd.Divide = div.kind
 	nd.desc = div.desc
-	children, err := b.buildChildren(div.children, ws)
+	name := "divide_i"
+	if div.kind == DividedS {
+		name = "divide_s"
+	}
+	ds := b.tr.StartSpan(ts, name)
+	ds.SetAttr("size", int64(len(sg.verts)))
+	ds.SetAttr("children", int64(len(div.children)))
+	children, err := b.buildChildren(div.children, ws, ds)
 	if err != nil {
+		ds.End()
 		return nil, err
 	}
 	nd.Children = children
 	b.combineST(nd)
+	ds.End()
 	return nd, nil
 }
 
@@ -110,11 +125,11 @@ func (b *builder) cl(sg *subgraph, ws *engine.Workspace) (*Node, error) {
 // spawned subtree — cancellation latches in the shared ctl, so siblings
 // unwind promptly and no goroutine is leaked — and returns the first
 // error observed.
-func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace) ([]*Node, error) {
+func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace, ts *obs.TraceSpan) ([]*Node, error) {
 	nodes := make([]*Node, len(subs))
 	if b.sem == nil || len(subs) < 2 {
 		for i, child := range subs {
-			nd, err := b.cl(child, ws)
+			nd, err := b.cl(child, ws, ts)
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +156,7 @@ func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace) ([]*Node
 				defer wg.Done()
 				defer func() { <-b.sem }()
 				cws := engine.GetWorkspace(c.local.N())
-				nd, err := b.cl(c, cws)
+				nd, err := b.cl(c, cws, ts)
 				engine.PutWorkspace(cws)
 				if err != nil {
 					setErr(err)
@@ -151,7 +166,7 @@ func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace) ([]*Node
 			}(i, child)
 		default:
 			b.opt.Obs.Inc(obs.WorkerInline)
-			nd, err := b.cl(child, ws)
+			nd, err := b.cl(child, ws, ts)
 			if err != nil {
 				setErr(err)
 			} else {
@@ -185,9 +200,12 @@ func (b *builder) makeSingleton(nd *Node) {
 // individualization–refinement engine (the paper's nauty/bliss/traces)
 // canonically labels (g, πg); its total order γ* then ranks same-colored
 // vertices, yielding vᵞᵍ = π(v) + rank.
-func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace) error {
+func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) error {
 	nd.Kind = KindLeaf
 	b.opt.Obs.Inc(obs.LeafSearches)
+	leafSpan := b.tr.StartSpan(ts, "leaf_search")
+	leafSpan.SetAttr("size", int64(len(sg.verts)))
+	defer leafSpan.End()
 	span := b.opt.Obs.StartPhase(obs.PhaseCombineCL)
 	defer span.End()
 	cells := b.cellsOf(sg)
@@ -199,6 +217,7 @@ func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace) error 
 		Policy:   b.opt.LeafPolicy,
 		MaxNodes: b.budget.LeafMaxNodes,
 		Obs:      b.opt.Obs,
+		Span:     leafSpan,
 	}
 	if b.budget.LeafTimeout > 0 {
 		copt.Deadline = time.Now().Add(b.budget.LeafTimeout)

@@ -6,6 +6,7 @@ import (
 
 	"dvicl/internal/engine"
 	"dvicl/internal/graph"
+	"dvicl/internal/obs"
 )
 
 // subgraph is a working colored subgraph (g, πg) during construction:
@@ -29,6 +30,9 @@ type builder struct {
 	// sem is the token bucket bounding concurrent subtree builders
 	// (nil when sequential).
 	sem chan struct{}
+	// tr is the request trace the build attaches its span tree to
+	// (nil when the build is untraced; every use is nil-safe).
+	tr *obs.Trace
 
 	mu        sync.Mutex
 	truncated bool

@@ -21,17 +21,19 @@ import (
 // are left to the regular machinery (DivideS isolates them anyway, since
 // for an equitable coloring a twin class's neighborhood is a union of
 // whole cells, i.e. removable bicliques).
-func (b *builder) buildSimplified(ws *engine.Workspace) (*Node, error) {
+func (b *builder) buildSimplified(ws *engine.Workspace, ts *obs.TraceSpan) (*Node, error) {
 	n := b.t.g.N()
+	twinSpan := b.tr.StartSpan(ts, "twins")
 	detectSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
 	twinsOf := b.wholeClassTwins()
 	detectSpan.End()
+	twinSpan.End()
 	if len(twinsOf) == 0 {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		return b.cl(b.subgraphOf(all), ws)
+		return b.cl(b.subgraphOf(all), ws, ts)
 	}
 	removed := make([]bool, n)
 	var collapsed int64
@@ -42,19 +44,22 @@ func (b *builder) buildSimplified(ws *engine.Workspace) (*Node, error) {
 		}
 	}
 	b.opt.Obs.Add(obs.TwinVertsCollapsed, collapsed)
+	twinSpan.SetAttr("collapsed", collapsed)
 	var kept []int
 	for v := 0; v < n; v++ {
 		if !removed[v] {
 			kept = append(kept, v)
 		}
 	}
-	root, err := b.cl(b.subgraphOf(kept), ws)
+	root, err := b.cl(b.subgraphOf(kept), ws, ts)
 	if err != nil {
 		return nil, err
 	}
+	expandTrSpan := b.tr.StartSpan(ts, "twins_expand")
 	expandSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
 	expanded, err := b.expandTwins(root, twinsOf)
 	expandSpan.End()
+	expandTrSpan.End()
 	if err != nil {
 		return nil, err
 	}

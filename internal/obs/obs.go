@@ -177,10 +177,16 @@ const timerBuckets = 64
 
 // timer aggregates observations of one phase: count, total, min, max and
 // a log2 histogram. All fields are updated atomically.
+//
+// minNs stores the minimum shifted by +1 so that 0 can mean "no
+// observation yet" on a zero-value timer: a genuine 0ns observation is
+// stored as 1 and reported back as 0. (An earlier version clamped the
+// stored minimum to 1, permanently reporting a fake 1ns minimum for
+// phases that legitimately observed 0ns.)
 type timer struct {
 	count   atomic.Int64
 	sumNs   atomic.Int64
-	minNs   atomic.Int64 // valid iff count > 0
+	minNs   atomic.Int64 // min+1; 0 = unset
 	maxNs   atomic.Int64
 	buckets [timerBuckets]atomic.Int64
 }
@@ -191,21 +197,7 @@ func (t *timer) observe(ns int64) {
 	}
 	t.count.Add(1)
 	t.sumNs.Add(ns)
-	for {
-		cur := t.minNs.Load()
-		if cur != 0 && cur <= ns {
-			break
-		}
-		// 0 doubles as "unset"; a true 0ns observation stores 1 below via
-		// the bucket index anyway, so clamp stored min to ≥1.
-		stored := ns
-		if stored == 0 {
-			stored = 1
-		}
-		if t.minNs.CompareAndSwap(cur, stored) {
-			break
-		}
-	}
+	t.casMin(ns + 1)
 	for {
 		cur := t.maxNs.Load()
 		if cur >= ns {
@@ -218,30 +210,71 @@ func (t *timer) observe(ns int64) {
 	t.buckets[bits.Len64(uint64(ns))].Add(1)
 }
 
+// casMin lowers the stored (shifted) minimum to stored if it is smaller
+// or the timer has no minimum yet.
+func (t *timer) casMin(stored int64) {
+	for {
+		cur := t.minNs.Load()
+		if cur != 0 && cur <= stored {
+			return
+		}
+		if t.minNs.CompareAndSwap(cur, stored) {
+			return
+		}
+	}
+}
+
+// min returns the unshifted minimum (only meaningful when count > 0).
+func (t *timer) min() int64 {
+	if m := t.minNs.Load(); m > 0 {
+		return m - 1
+	}
+	return 0
+}
+
 // Recorder collects counters and phase timers. The zero value is ready to
 // use; so is a nil pointer (every method no-ops on a nil receiver).
+//
+// A Recorder may forward: one built by NewForwarding records every
+// observation into itself and into its base recorder. This is how a
+// request-scoped Trace attributes effort without losing the global
+// totals — the hot path pays one extra atomic per observation, and the
+// disabled (nil-recorder) path is unchanged.
 type Recorder struct {
 	counters [numCounters]atomic.Int64
 	timers   [numPhases]timer
+
+	// fwd, when non-nil, receives a copy of every observation (Inc, Add,
+	// phase timings, Merge). Set at construction only, never mutated, so
+	// reads need no synchronization.
+	fwd *Recorder
 }
 
 // New returns an empty enabled Recorder.
 func New() *Recorder { return &Recorder{} }
 
+// NewForwarding returns a Recorder that additionally copies every
+// observation into base (and transitively into base's own forwarding
+// target, if any). A nil base yields a plain recorder. Snapshot, Counter
+// and Reset act on the forwarding recorder's local state only — that
+// locality is what makes it a per-request delta counter.
+func NewForwarding(base *Recorder) *Recorder { return &Recorder{fwd: base} }
+
 // Inc adds 1 to the counter.
 func (r *Recorder) Inc(c Counter) {
-	if r == nil {
-		return
+	for ; r != nil; r = r.fwd {
+		r.counters[c].Add(1)
 	}
-	r.counters[c].Add(1)
 }
 
 // Add adds delta to the counter.
 func (r *Recorder) Add(c Counter, delta int64) {
-	if r == nil || delta == 0 {
+	if delta == 0 {
 		return
 	}
-	r.counters[c].Add(delta)
+	for ; r != nil; r = r.fwd {
+		r.counters[c].Add(delta)
+	}
 }
 
 // Counter returns the counter's current value (0 on a nil Recorder).
@@ -254,10 +287,14 @@ func (r *Recorder) Counter(c Counter) int64 {
 
 // ObservePhase records one completed span of the phase.
 func (r *Recorder) ObservePhase(p Phase, d time.Duration) {
-	if r == nil {
-		return
+	r.observeNs(p, int64(d))
+}
+
+// observeNs records one phase duration into r and its forwarding chain.
+func (r *Recorder) observeNs(p Phase, ns int64) {
+	for ; r != nil; r = r.fwd {
+		r.timers[p].observe(ns)
 	}
-	r.timers[p].observe(int64(d))
 }
 
 // Span is an in-flight phase timing started by StartPhase. The zero Span
@@ -282,20 +319,27 @@ func (s Span) End() {
 	if s.r == nil {
 		return
 	}
-	s.r.timers[s.phase].observe(int64(time.Since(s.start)))
+	s.r.observeNs(s.phase, int64(time.Since(s.start)))
 }
 
-// Merge folds every counter and timer of src into r. It is how the bulk
-// pipeline aggregates per-worker recorders on completion: each worker
-// records into a private Recorder (no cross-core contention on the hot
-// path), and the pipeline merges them into the shared one when the worker
-// drains. Merging a nil src, or merging into a nil r, is a no-op. Safe
-// for concurrent use, though src should be quiescent for the merge to be
-// a consistent cut.
+// Merge folds every counter and timer of src into r (and into r's
+// forwarding chain). It is how the bulk pipeline aggregates per-worker
+// recorders on completion: each worker records into a private Recorder
+// (no cross-core contention on the hot path), and the pipeline merges
+// them into the shared one when the worker drains. Merging a nil src, or
+// merging into a nil r, is a no-op. Safe for concurrent use, though src
+// should be quiescent for the merge to be a consistent cut.
 func (r *Recorder) Merge(src *Recorder) {
-	if r == nil || src == nil {
+	if src == nil {
 		return
 	}
+	for ; r != nil; r = r.fwd {
+		r.mergeLocal(src)
+	}
+}
+
+// mergeLocal folds src into r's own arrays only (no forwarding).
+func (r *Recorder) mergeLocal(src *Recorder) {
 	for i := range src.counters {
 		if v := src.counters[i].Load(); v != 0 {
 			r.counters[i].Add(v)
@@ -309,16 +353,10 @@ func (r *Recorder) Merge(src *Recorder) {
 		}
 		dt.count.Add(n)
 		dt.sumNs.Add(st.sumNs.Load())
+		// minNs is stored shifted by +1 in both timers, so the raw value
+		// transfers directly; 0 still means "unset".
 		if m := st.minNs.Load(); m != 0 {
-			for {
-				cur := dt.minNs.Load()
-				if cur != 0 && cur <= m {
-					break
-				}
-				if dt.minNs.CompareAndSwap(cur, m) {
-					break
-				}
-			}
+			dt.casMin(m)
 		}
 		if m := st.maxNs.Load(); m != 0 {
 			for {
@@ -410,7 +448,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		ps := PhaseStats{
 			Count:   n,
 			TotalNs: t.sumNs.Load(),
-			MinNs:   t.minNs.Load(),
+			MinNs:   t.min(),
 			MaxNs:   t.maxNs.Load(),
 		}
 		for i := range t.buckets {

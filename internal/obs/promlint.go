@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintProm is a vendored, dependency-free stand-in for
+// `promtool check metrics`: it parses text in the Prometheus exposition
+// format and returns every convention violation it finds. It is run as
+// a test against WriteProm's output (and by CI against a live /metrics
+// scrape) so the exposed series can never silently drift out of shape.
+//
+// Checks:
+//   - metric and label names match the Prometheus grammar,
+//   - every metric carries the MetricsNamespace prefix,
+//   - every sample's family has # TYPE (and # HELP) declared before it,
+//   - counter samples end in _total,
+//   - histogram buckets are cumulative (monotone non-decreasing in le
+//     order), end with le="+Inf", and the +Inf bucket equals _count,
+//   - sample values parse as floats and lines are well-formed.
+func LintProm(text string) []string {
+	var problems []string
+	l := promLinter{
+		typed:  map[string]string{},
+		helped: map[string]bool{},
+		hist:   map[string]*histState{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if p := l.lintLine(line); p != "" {
+			problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, p))
+		}
+	}
+	problems = append(problems, l.finish()...)
+	return problems
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type histState struct {
+	family  string // family name (without _bucket suffix)
+	labels  string // label set minus le
+	prevLe  float64
+	prevVal float64
+	sawInf  bool
+	infVal  float64
+	count   float64
+	hasCnt  bool
+}
+
+type promLinter struct {
+	typed  map[string]string // family -> TYPE
+	helped map[string]bool   // family -> HELP seen
+	hist   map[string]*histState
+}
+
+func (l *promLinter) lintLine(line string) string {
+	if line == "" {
+		return ""
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.lintComment(line)
+	}
+	return l.lintSample(line)
+}
+
+func (l *promLinter) lintComment(line string) string {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return "malformed comment line: " + line
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !metricNameRe.MatchString(name) {
+			return "invalid metric name in HELP: " + name
+		}
+		if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+			return "empty HELP text for " + name
+		}
+		l.helped[name] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			return "malformed TYPE line: " + line
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(name) {
+			return "invalid metric name in TYPE: " + name
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "unknown TYPE " + typ + " for " + name
+		}
+		if _, dup := l.typed[name]; dup {
+			return "duplicate TYPE for " + name
+		}
+		l.typed[name] = typ
+	}
+	return ""
+}
+
+func (l *promLinter) lintSample(line string) string {
+	// name{labels} value  |  name value
+	var name, labels, rest string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "unbalanced braces: " + line
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fs := strings.Fields(line)
+		if len(fs) < 2 {
+			return "malformed sample: " + line
+		}
+		name, rest = fs[0], fs[1]
+	}
+	if !metricNameRe.MatchString(name) {
+		return "invalid metric name: " + name
+	}
+	if !strings.HasPrefix(name, MetricsNamespace+"_") {
+		return "metric missing " + MetricsNamespace + "_ namespace: " + name
+	}
+	vf := strings.Fields(rest)
+	if len(vf) == 0 {
+		return "sample without value: " + name
+	}
+	val, err := strconv.ParseFloat(vf[0], 64)
+	if err != nil {
+		return "unparseable value for " + name + ": " + rest
+	}
+	if p := l.lintLabels(name, labels); p != "" {
+		return p
+	}
+
+	family, kind := familyOf(name)
+	typ, ok := l.typed[family]
+	if !ok {
+		return "sample before TYPE declaration: " + name
+	}
+	if !l.helped[family] {
+		return "sample for " + family + " has no HELP"
+	}
+	switch typ {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return "counter not ending in _total: " + name
+		}
+		if val < 0 {
+			return "negative counter " + name
+		}
+	case "histogram":
+		if p := l.lintHistSample(family, kind, name, labels, val); p != "" {
+			return p
+		}
+	}
+	return ""
+}
+
+func (l *promLinter) lintLabels(name, labels string) string {
+	for _, pair := range splitLabels(labels) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return "malformed label pair " + pair + " on " + name
+		}
+		ln, lv := pair[:eq], pair[eq+1:]
+		if !labelNameRe.MatchString(ln) {
+			return "invalid label name " + ln + " on " + name
+		}
+		if len(lv) < 2 || lv[0] != '"' || lv[len(lv)-1] != '"' {
+			return "unquoted label value for " + ln + " on " + name
+		}
+	}
+	return ""
+}
+
+func (l *promLinter) lintHistSample(family, kind, name, labels string, val float64) string {
+	key := family + "|" + stripLe(labels)
+	st := l.hist[key]
+	if st == nil {
+		st = &histState{family: family, labels: stripLe(labels)}
+		l.hist[key] = st
+	}
+	switch kind {
+	case "bucket":
+		le, ok := leOf(labels)
+		if !ok {
+			return "histogram bucket without le label: " + name
+		}
+		if st.sawInf {
+			return "bucket after le=\"+Inf\" for " + family
+		}
+		if le == "+Inf" {
+			st.sawInf, st.infVal = true, val
+			if val < st.prevVal {
+				return "+Inf bucket below previous bucket for " + family
+			}
+			return ""
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return "unparseable le=" + le + " for " + family
+		}
+		if st.prevLe != 0 || st.prevVal != 0 {
+			if f <= st.prevLe {
+				return "non-increasing le bounds for " + family
+			}
+			if val < st.prevVal {
+				return "non-cumulative buckets for " + family
+			}
+		}
+		st.prevLe, st.prevVal = f, val
+	case "count":
+		st.count, st.hasCnt = val, true
+	}
+	return ""
+}
+
+// finish runs the whole-exposition checks that need every line first.
+func (l *promLinter) finish() []string {
+	var problems []string
+	for _, st := range l.hist {
+		where := st.family
+		if st.labels != "" {
+			where += "{" + st.labels + "}"
+		}
+		if !st.sawInf {
+			problems = append(problems, "histogram "+where+" missing le=\"+Inf\" bucket")
+			continue
+		}
+		if st.hasCnt && st.infVal != st.count {
+			problems = append(problems, fmt.Sprintf(
+				"histogram %s +Inf bucket (%g) != _count (%g)", where, st.infVal, st.count))
+		}
+	}
+	return problems
+}
+
+// familyOf maps a sample name to its declared family: _bucket/_sum/_count
+// suffixes belong to the base histogram name if one was declared.
+func familyOf(name string) (family, kind string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf[1:]
+		}
+	}
+	return name, ""
+}
+
+// splitLabels splits `a="x",b="y,z"` on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func stripLe(labels string) string {
+	var keep []string
+	for _, p := range splitLabels(labels) {
+		if !strings.HasPrefix(p, "le=") {
+			keep = append(keep, p)
+		}
+	}
+	return strings.Join(keep, ",")
+}
+
+func leOf(labels string) (string, bool) {
+	for _, p := range splitLabels(labels) {
+		if strings.HasPrefix(p, "le=") {
+			v := p[len("le="):]
+			v = strings.TrimPrefix(v, `"`)
+			v = strings.TrimSuffix(v, `"`)
+			return v, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimerZeroMin is the regression test for the shifted-min encoding:
+// a genuine 0ns observation must be reported back as MinNs == 0, not as
+// the old clamped 1.
+func TestTimerZeroMin(t *testing.T) {
+	r := New()
+	r.ObservePhase(PhaseRefine, 0)
+	ps := r.Snapshot().Phases["refine"]
+	if ps.MinNs != 0 {
+		t.Fatalf("MinNs = %d after a 0ns observation, want 0", ps.MinNs)
+	}
+	if ps.MaxNs != 0 || ps.Count != 1 || ps.TotalNs != 0 {
+		t.Fatalf("stats after one 0ns observation: %+v", ps)
+	}
+	if len(ps.Buckets) != 1 || ps.Buckets[0].UpperNs != 1 || ps.Buckets[0].Count != 1 {
+		t.Fatalf("0ns must land in the [0,1) bucket: %+v", ps.Buckets)
+	}
+
+	// A later, larger observation must not disturb the true 0 minimum.
+	r.ObservePhase(PhaseRefine, 5*time.Nanosecond)
+	ps = r.Snapshot().Phases["refine"]
+	if ps.MinNs != 0 || ps.MaxNs != 5 {
+		t.Fatalf("min/max = %d/%d after {0, 5}, want 0/5", ps.MinNs, ps.MaxNs)
+	}
+
+	// And a phase that only ever saw positive durations reports the real
+	// minimum, not a clamp artifact.
+	r.ObservePhase(PhaseTwins, 7*time.Nanosecond)
+	r.ObservePhase(PhaseTwins, 3*time.Nanosecond)
+	if got := r.Snapshot().Phases["twins"].MinNs; got != 3 {
+		t.Fatalf("positive-only MinNs = %d, want 3", got)
+	}
+}
+
+// TestTimerMinMaxBucketAgreement pins the internal consistency of a
+// snapshot: min ≤ max, bucket counts sum to Count, and the min/max fall
+// inside the covered bucket range — including across a Merge, which
+// transfers the shifted encoding directly.
+func TestTimerMinMaxBucketAgreement(t *testing.T) {
+	check := func(t *testing.T, ps PhaseStats) {
+		t.Helper()
+		if ps.MinNs > ps.MaxNs {
+			t.Fatalf("min %d > max %d", ps.MinNs, ps.MaxNs)
+		}
+		var sum int64
+		for i, b := range ps.Buckets {
+			sum += b.Count
+			if i > 0 && b.UpperNs <= ps.Buckets[i-1].UpperNs {
+				t.Fatalf("bucket bounds not increasing: %+v", ps.Buckets)
+			}
+		}
+		if sum != ps.Count {
+			t.Fatalf("bucket sum %d != count %d", sum, ps.Count)
+		}
+		if top := ps.Buckets[len(ps.Buckets)-1].UpperNs; ps.MaxNs >= top {
+			t.Fatalf("max %d outside the largest bucket upper %d", ps.MaxNs, top)
+		}
+	}
+
+	a, b := New(), New()
+	for _, ns := range []time.Duration{0, 1, 100, 3 * time.Microsecond} {
+		a.ObservePhase(PhaseBuild, ns)
+	}
+	for _, ns := range []time.Duration{2, 50 * time.Millisecond} {
+		b.ObservePhase(PhaseBuild, ns)
+	}
+	check(t, a.Snapshot().Phases["build"])
+	check(t, b.Snapshot().Phases["build"])
+
+	dst := New()
+	dst.Merge(a)
+	dst.Merge(b)
+	ps := dst.Snapshot().Phases["build"]
+	check(t, ps)
+	if ps.Count != 6 || ps.MinNs != 0 || ps.MaxNs != int64(50*time.Millisecond) {
+		t.Fatalf("merged stats: %+v", ps)
+	}
+
+	// Merge into a timer that has no 0 observation must not invent one:
+	// c's min stays the genuine 2ns until a smaller value arrives.
+	c := New()
+	c.ObservePhase(PhaseBuild, 2)
+	c.Merge(b)
+	if got := c.Snapshot().Phases["build"].MinNs; got != 2 {
+		t.Fatalf("merged positive-only MinNs = %d, want 2", got)
+	}
+	c.Merge(a) // brings the true 0
+	if got := c.Snapshot().Phases["build"].MinNs; got != 0 {
+		t.Fatalf("MinNs after merging a 0 observation = %d, want 0", got)
+	}
+}
+
+// TestMergeSnapshotRace exercises Merge and Snapshot against concurrent
+// writers; run under -race this is the data-race proof for the
+// bulk-pipeline drain path (workers record, applier merges, /stats
+// snapshots — all at once).
+func TestMergeSnapshotRace(t *testing.T) {
+	dst := New()
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := New()
+			for i := 0; i < 500; i++ {
+				src.Inc(BulkRecords)
+				src.ObservePhase(PhaseBulkIngest, time.Duration(i))
+				if i%100 == 99 {
+					dst.Merge(src)
+					src = New()
+				}
+			}
+			dst.Merge(src)
+		}()
+	}
+	// Snapshot continuously while merges land.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := dst.Snapshot()
+			if ps, ok := s.Phases["bulk_ingest"]; ok {
+				var sum int64
+				for _, b := range ps.Buckets {
+					sum += b.Count
+				}
+				// Not a consistent cut, but never more buckets than counts
+				// recorded by a completed merge plus one in flight.
+				_ = sum
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := dst.Counter(BulkRecords); got != workers*500 {
+		t.Fatalf("merged bulk_records = %d, want %d", got, workers*500)
+	}
+	ps := dst.Snapshot().Phases["bulk_ingest"]
+	if ps.Count != workers*500 {
+		t.Fatalf("merged phase count = %d, want %d", ps.Count, workers*500)
+	}
+	if ps.MinNs != 0 || ps.MaxNs != 499 {
+		t.Fatalf("merged min/max = %d/%d, want 0/499", ps.MinNs, ps.MaxNs)
+	}
+}
+
+// TestForwardingRace: concurrent writers on a forwarding recorder — every
+// observation must land exactly once in both the local and base arrays.
+func TestForwardingRace(t *testing.T) {
+	base := New()
+	fwd := NewForwarding(base)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fwd.Inc(SearchNodes)
+				fwd.ObservePhase(PhaseBuild, time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if l, b := fwd.Counter(SearchNodes), base.Counter(SearchNodes); l != 8000 || b != 8000 {
+		t.Fatalf("local/base = %d/%d, want 8000/8000", l, b)
+	}
+	lp := fwd.Snapshot().Phases["build"]
+	bp := base.Snapshot().Phases["build"]
+	if lp.Count != 8000 || bp.Count != 8000 {
+		t.Fatalf("phase counts local/base = %d/%d, want 8000/8000", lp.Count, bp.Count)
+	}
+}

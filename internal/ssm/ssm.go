@@ -132,6 +132,9 @@ func (ix *Index) CountImagesCtx(ctx context.Context, s []int) (*big.Int, error) 
 	ix.rec.Inc(obs.SSMQueries)
 	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
 	defer span.End()
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), "ssm_count")
+	ts.SetAttr("pattern", int64(len(s)))
+	defer ts.End()
 	pattern := sortedCopy(s)
 	return ix.countNode(engine.NewCtl(ctx, engine.Budget{}), ix.tree.Root, pattern)
 }
@@ -155,6 +158,9 @@ func (ix *Index) EnumerateCtx(ctx context.Context, s []int, limit int) ([][]int,
 	ix.rec.Inc(obs.SSMQueries)
 	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
 	defer span.End()
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), "ssm_enumerate")
+	ts.SetAttr("pattern", int64(len(s)))
+	defer ts.End()
 	pattern := sortedCopy(s)
 	return ix.enumNode(engine.NewCtl(ctx, engine.Budget{}), ix.tree.Root, pattern, limit)
 }
@@ -177,6 +183,9 @@ func (ix *Index) PatternKeyCtx(ctx context.Context, s []int) (string, error) {
 	ix.rec.Inc(obs.SSMQueries)
 	span := ix.rec.StartPhase(obs.PhaseSSMQuery)
 	defer span.End()
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), "ssm_key")
+	ts.SetAttr("pattern", int64(len(s)))
+	defer ts.End()
 	pattern := sortedCopy(s)
 	key, err := ix.keyNode(engine.NewCtl(ctx, engine.Budget{}), ix.tree.Root, pattern)
 	if err != nil {
@@ -663,6 +672,12 @@ func (ix *Index) WitnessAutomorphism(s1, s2 []int, maxOrbit int) (perm.Perm, boo
 // orbit BFS polls ctx at every step, so an unbounded (maxOrbit = 0)
 // witness search over a huge orbit can still be stopped by the caller.
 func (ix *Index) WitnessAutomorphismCtx(ctx context.Context, s1, s2 []int, maxOrbit int) (perm.Perm, bool, error) {
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), "ssm_witness")
+	ts.SetAttr("pattern", int64(len(s1)))
+	defer ts.End()
+	if ts != nil {
+		ctx = obs.WithSpan(ctx, ts) // nest the PatternKeyCtx spans below
+	}
 	ctl := engine.NewCtl(ctx, engine.Budget{})
 	a := sortedCopy(s1)
 	b := sortedCopy(s2)
