@@ -1,0 +1,101 @@
+// Command benchdiff compares two perfbench BENCH_*.json artifacts and
+// exits nonzero when the new one regresses — the repo's continuous
+// benchmarking gate.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//
+//	-time-tol 0.15     relative tolerance on median wall time
+//	-alloc-tol 0.10    relative tolerance on allocation count / bytes
+//	-counter-tol 0     relative tolerance on engine counters
+//	-min-reps 3        fewer reps than this on either side → time
+//	                   verdicts degrade to "noise" (never gate)
+//	-warn-time         wall/alloc regressions warn instead of failing;
+//	                   counter regressions still fail (they are
+//	                   deterministic, so any increase is a real change
+//	                   in search effort, not noise)
+//
+// Exit status: 0 — no regressions (or only warned ones); 1 — gating
+// regressions found; 2 — usage, I/O or schema error (including an
+// attempt to diff a quick-mode file against a full-mode file).
+//
+// Wall time is compared median-to-median with a min-of-k confirmation
+// (see docs/PERFORMANCE.md for the noise model); counters are compared
+// exactly by default because the suite's sequential runs are
+// deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dvicl/internal/perfbench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and args, so tests can assert
+// exit codes on fixture files.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := perfbench.DefaultThresholds()
+	timeTol := fs.Float64("time-tol", def.TimeTol, "relative tolerance on median wall time")
+	allocTol := fs.Float64("alloc-tol", def.AllocTol, "relative tolerance on allocation count/bytes")
+	counterTol := fs.Float64("counter-tol", def.CounterTol, "relative tolerance on engine counters")
+	minReps := fs.Int("min-reps", def.MinReps, "minimum reps for wall/alloc verdicts (below: noise)")
+	warnTime := fs.Bool("warn-time", false, "wall/alloc regressions warn only; counter regressions still fail")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	oldF, err := perfbench.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newF, err := perfbench.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	th := perfbench.Thresholds{
+		TimeTol:    *timeTol,
+		AllocTol:   *allocTol,
+		CounterTol: *counterTol,
+		MinReps:    *minReps,
+	}
+	res, err := perfbench.Diff(oldF, newF, th)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, res.Format())
+
+	if res.CounterRegressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: FAIL: %d counter regression(s) — deterministic search-effort increase\n",
+			res.CounterRegressions)
+		return 1
+	}
+	if res.TimeRegressions > 0 {
+		if *warnTime {
+			fmt.Fprintf(stderr, "benchdiff: WARN: %d time/alloc regression(s) (soft gate, -warn-time)\n",
+				res.TimeRegressions)
+			return 0
+		}
+		fmt.Fprintf(stderr, "benchdiff: FAIL: %d time/alloc regression(s)\n", res.TimeRegressions)
+		return 1
+	}
+	return 0
+}

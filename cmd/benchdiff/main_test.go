@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "perfbench", "testdata", name)
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSelfDiffExitsZero(t *testing.T) {
+	code, stdout, _ := runDiff(t, fixture("base.json"), fixture("base.json"))
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "0 counter regressions") {
+		t.Fatalf("summary missing:\n%s", stdout)
+	}
+}
+
+// TestSlowedFixtureExitsNonzero is the acceptance criterion: a
+// deliberately slowed run must be flagged with a nonzero exit.
+func TestSlowedFixtureExitsNonzero(t *testing.T) {
+	code, stdout, stderr := runDiff(t, fixture("base.json"), fixture("slowed.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "time/alloc regression") {
+		t.Fatalf("stderr: %s", stderr)
+	}
+}
+
+// TestWarnTimeSoftensWallButNotCounters: -warn-time turns a wall
+// regression into exit 0, but a counter regression still fails — the
+// CI soft-gate contract.
+func TestWarnTimeSoftensWallButNotCounters(t *testing.T) {
+	code, _, stderr := runDiff(t, "-warn-time", fixture("base.json"), fixture("slowed.json"))
+	if code != 0 {
+		t.Fatalf("warn-time wall regression: exit %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "WARN") {
+		t.Fatalf("no warning printed: %s", stderr)
+	}
+	code, _, stderr = runDiff(t, "-warn-time", fixture("base.json"), fixture("counter_regress.json"))
+	if code != 1 {
+		t.Fatalf("warn-time counter regression: exit %d (%s)", code, stderr)
+	}
+}
+
+func TestNoisyFixtureExitsZero(t *testing.T) {
+	code, stdout, _ := runDiff(t, fixture("base.json"), fixture("noisy.json"))
+	if code != 0 {
+		t.Fatalf("noisy comparison hard-failed: exit %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "noise") {
+		t.Fatalf("noise verdict not reported:\n%s", stdout)
+	}
+}
+
+func TestModeMismatchExitsTwo(t *testing.T) {
+	code, _, stderr := runDiff(t, fixture("base.json"), fixture("full_mode.json"))
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (%s)", code, stderr)
+	}
+}
+
+func TestBadFileExitsTwo(t *testing.T) {
+	if code, _, _ := runDiff(t, fixture("base.json"), fixture("bad_schema.json")); code != 2 {
+		t.Fatalf("bad schema: exit %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, fixture("base.json"), fixture("does_not_exist.json")); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	if code, _, _ := runDiff(t, fixture("base.json")); code != 2 {
+		t.Fatal("one-arg invocation accepted")
+	}
+}
+
+// TestTighterToleranceFlags: with -time-tol 0.5 the slowed fixture's
+// 30% shift sits inside the band and passes.
+func TestTighterToleranceFlags(t *testing.T) {
+	code, _, _ := runDiff(t, "-time-tol", "0.5", fixture("base.json"), fixture("slowed.json"))
+	if code != 0 {
+		t.Fatalf("exit %d with wide tolerance", code)
+	}
+}

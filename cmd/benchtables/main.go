@@ -15,6 +15,17 @@
 // with the search-effort counter snapshots (nodes, prunings, refinement
 // rounds, phase timings) of each instrumented run next to the printed
 // cells — so perf PRs diff counters, not vibes.
+//
+// -perfbench <out.json> runs the continuous-benchmarking suite
+// (internal/perfbench) instead of the tables and writes a versioned
+// BENCH_<tag>.json artifact for cmd/benchdiff to compare:
+//
+//	benchtables -perfbench BENCH_PR7.json -perfbench-tag PR7
+//	benchtables -perfbench /tmp/BENCH_ci.json -perfbench-quick \
+//	            -profile-dir /tmp/pprof
+//
+// See docs/PERFORMANCE.md for the suite, the artifact schema, and the
+// regression-gate thresholds.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"time"
 
 	"dvicl/internal/bench"
+	"dvicl/internal/perfbench"
 )
 
 func main() {
@@ -35,16 +47,31 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all)")
 	maxSubgraphs := flag.Int("maxsubgraphs", 200000, "cap on triangles/cliques clustered in table 7")
 	jsonDir := flag.String("json", "", "also write each table to <dir>/BENCH_table<id>.json with counter snapshots")
+	perfOut := flag.String("perfbench", "", "run the perfbench suite instead of the tables and write the BENCH file here")
+	perfQuick := flag.Bool("perfbench-quick", false, "perfbench: run the reduced-size (CI) instances")
+	perfReps := flag.Int("perfbench-reps", 0, "perfbench: measured reps per scenario (0 = 3 quick / 5 full)")
+	perfTag := flag.String("perfbench-tag", "dev", "perfbench: tag recorded in the BENCH file")
+	perfScenarios := flag.String("perfbench-scenarios", "", "perfbench: comma-separated scenario filter (default: all)")
+	profileDir := flag.String("profile-dir", "", "perfbench: capture per-scenario CPU+heap pprof profiles into this directory")
 	flag.Parse()
+
+	if *perfOut != "" {
+		os.Exit(runPerfbench(*perfOut, perfbench.Options{
+			Tag:        *perfTag,
+			Quick:      *perfQuick,
+			Reps:       *perfReps,
+			Scenarios:  splitList(*perfScenarios),
+			ProfileDir: *profileDir,
+			Log:        os.Stderr,
+		}))
+	}
 
 	cfg := bench.Config{
 		Scale:        *scale,
 		Timeout:      *timeout,
 		MaxSubgraphs: *maxSubgraphs,
 	}
-	if *datasets != "" {
-		cfg.Datasets = strings.Split(*datasets, ",")
-	}
+	cfg.Datasets = splitList(*datasets)
 
 	runners := map[string]func(bench.Config) bench.Table{
 		"1": bench.Table1, "2": bench.Table2,
@@ -91,4 +118,29 @@ func writeTableJSON(path string, t bench.Table) error {
 	}
 	defer f.Close()
 	return t.WriteJSON(f)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// runPerfbench executes the continuous-benchmarking suite and writes
+// the validated BENCH file, returning the process exit code.
+func runPerfbench(out string, opts perfbench.Options) int {
+	start := time.Now()
+	f, err := perfbench.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: perfbench: %v\n", err)
+		return 1
+	}
+	if err := perfbench.WriteFile(out, f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: perfbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("perfbench: wrote %s (%s mode, %d scenarios, tag %q) in %v\n",
+		out, f.Mode, len(f.Scenarios), f.Tag, time.Since(start).Round(time.Millisecond))
+	return 0
 }

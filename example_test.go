@@ -3,6 +3,7 @@ package dvicl_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 
 	"dvicl"
@@ -118,6 +119,55 @@ func ExampleTrace() {
 	// build span graph size: 80
 	// refinement recorded: true
 	// certificate unchanged: true
+}
+
+// ExampleBudget shows the two tiers of resource bounds and their
+// different failure semantics on a Miyazaki-like graph (a family built
+// to force backtracking search). Whole-build bounds are hard: the build
+// stops and returns ErrBudgetExceeded. Per-leaf bounds are soft: each
+// leaf search is truncated best-effort and the build succeeds, with
+// Tree.Truncated warning that the certificate is not exact.
+func ExampleBudget() {
+	g := gen.MzAug(12)
+
+	// Hard: the whole build may visit at most 5 search nodes.
+	_, err := dvicl.BuildAutoTreeCtx(context.Background(), g, nil,
+		dvicl.Options{Budget: dvicl.Budget{MaxNodes: 5}})
+	fmt.Println(errors.Is(err, dvicl.ErrBudgetExceeded))
+
+	// Soft: each individual leaf search is capped at 5 nodes.
+	tree, err := dvicl.BuildAutoTreeCtx(context.Background(), g, nil,
+		dvicl.Options{Budget: dvicl.Budget{LeafMaxNodes: 5}})
+	fmt.Println(err, tree.Truncated)
+	// Output:
+	// true
+	// <nil> true
+}
+
+// ExampleNewShardedGraphIndex partitions an in-memory index into 4
+// shards. Shard routing is by certificate hash, so an isomorphism class
+// lives entirely on one shard and Lookup reads a single shard; global
+// ids are local·shards+shard, deterministic for a fixed shard count.
+func ExampleNewShardedGraphIndex() {
+	ix := dvicl.NewShardedGraphIndex(dvicl.Options{}, 4)
+	c4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	p4 := dvicl.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+
+	id, dup, _ := ix.Add(c4) // class hashes to shard 2: id = 0·4+2
+	fmt.Println(id, dup)
+	id, dup, _ = ix.Add(c4.Permute([]int{2, 0, 3, 1})) // same shard: 1·4+2
+	fmt.Println(id, dup)
+	id, dup, _ = ix.Add(p4) // different class, shard 0
+	fmt.Println(id, dup)
+
+	fmt.Println(ix.Lookup(c4))
+	fmt.Println(ix.Len(), ix.Classes())
+	// Output:
+	// 2 false
+	// 6 true
+	// 0 false
+	// [2 6]
+	// 3 2
 }
 
 // ExampleAutomorphismGroup extracts generators and verifies one.

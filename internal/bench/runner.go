@@ -26,6 +26,13 @@ type Measurement struct {
 	// analogue of the paper's max-memory column; we sample the Go heap
 	// rather than RSS, so only relative comparisons are meaningful).
 	PeakMB float64
+	// Allocs and Bytes are the heap allocation count and total allocated
+	// bytes of the run (runtime.MemStats deltas). The background heap
+	// sampler contributes a handful of allocations, so tiny runs carry a
+	// small constant overhead; the perfbench suite gates on these with a
+	// relative tolerance, never exactly.
+	Allocs int64
+	Bytes  int64
 	// TimedOut marks a truncated run (printed as "-", like the paper's
 	// two-hour timeouts).
 	TimedOut bool
@@ -76,7 +83,13 @@ func Measure(fn func() bool) Measurement {
 	if p > base.HeapAlloc {
 		used = float64(p-base.HeapAlloc) / (1 << 20)
 	}
-	return Measurement{Time: elapsed, PeakMB: used, TimedOut: !ok}
+	return Measurement{
+		Time:     elapsed,
+		PeakMB:   used,
+		Allocs:   int64(final.Mallocs - base.Mallocs),
+		Bytes:    int64(final.TotalAlloc - base.TotalAlloc),
+		TimedOut: !ok,
+	}
 }
 
 // Table is a printable result table.

@@ -422,6 +422,19 @@ type Snapshot struct {
 	Phases   map[string]PhaseStats `json:"phases"`
 }
 
+// PhaseTotals returns each phase's total recorded time in nanoseconds,
+// keyed by phase name. Phases that never fired are absent, so two
+// snapshots of differently-shaped runs have different key sets — useful
+// for "where did the build spend its time" summaries (the perfbench
+// suite records these next to its wall times).
+func (s Snapshot) PhaseTotals() map[string]int64 {
+	out := make(map[string]int64, len(s.Phases))
+	for name, ps := range s.Phases {
+		out[name] = ps.TotalNs
+	}
+	return out
+}
+
 // Snapshot copies the current state. Safe to call while other goroutines
 // record (each field is read atomically; the snapshot is not a single
 // consistent cut, which is fine for monitoring).

@@ -1,0 +1,289 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies one metric comparison.
+type Verdict string
+
+// The verdict set. Noise means the comparison was inconclusive: too few
+// reps to trust a median, or a median shift the per-rep minima do not
+// confirm. Missing means the metric (or scenario) exists on only one
+// side; it never gates, but it is always reported — silently dropping a
+// scenario is itself a regression signal a human should see.
+const (
+	VerdictOK          Verdict = "ok"
+	VerdictImprovement Verdict = "improvement"
+	VerdictRegression  Verdict = "regression"
+	VerdictNoise       Verdict = "noise"
+	VerdictMissing     Verdict = "missing"
+)
+
+// Thresholds is the noise model of one diff: per-metric relative
+// tolerances plus the minimum repetition count below which wall-time
+// verdicts degrade to noise.
+type Thresholds struct {
+	// TimeTol is the relative tolerance on median wall time (0.15 =
+	// ±15%). A shift beyond it is only a verdict if the per-rep minima
+	// shift beyond it too (min-of-k confirmation — a single slow rep
+	// cannot fake a regression).
+	TimeTol float64
+	// AllocTol is the relative tolerance on allocation count and bytes.
+	// Allocations are near-deterministic but pool/GC timing wiggles
+	// them a few percent.
+	AllocTol float64
+	// CounterTol is the relative tolerance on engine counters. The
+	// suite's counters are deterministic, so the default is 0: any
+	// increase is a regression.
+	CounterTol float64
+	// MinReps is the smallest rep count (on either side) for which
+	// wall/alloc verdicts are trusted; below it they report as noise.
+	MinReps int
+}
+
+// DefaultThresholds is the gate configuration CI uses.
+func DefaultThresholds() Thresholds {
+	return Thresholds{TimeTol: 0.15, AllocTol: 0.10, CounterTol: 0, MinReps: 3}
+}
+
+// MetricDiff is one compared metric of one scenario.
+type MetricDiff struct {
+	Metric  string
+	Old     int64
+	New     int64
+	Ratio   float64 // New/Old; +Inf when Old == 0 and New > 0
+	Verdict Verdict
+}
+
+// ScenarioDiff is the comparison of one scenario across two files.
+type ScenarioDiff struct {
+	Name string
+	// Missing is set when the scenario exists on only one side ("old"
+	// or "new"); all metric slices are then empty.
+	Missing string
+	// Wall, Allocs and Bytes are the soft-gated metrics.
+	Wall   MetricDiff
+	Allocs MetricDiff
+	Bytes  MetricDiff
+	// Counters holds every compared counter whose verdict is not OK,
+	// sorted by name; CountersCompared is how many were compared, and
+	// CountersSkipped how many existed on only one side.
+	Counters         []MetricDiff
+	CountersCompared int
+	CountersSkipped  int
+}
+
+// Result is one whole-file comparison.
+type Result struct {
+	OldTag, NewTag string
+	Mode           string
+	Scenarios      []ScenarioDiff
+	// TimeRegressions counts wall/alloc/bytes regressions (the soft
+	// gate); CounterRegressions counts counter regressions (the hard
+	// gate); Improvements and Noise count those verdicts across all
+	// metrics; MissingScenarios counts one-sided scenarios.
+	TimeRegressions    int
+	CounterRegressions int
+	Improvements       int
+	Noise              int
+	MissingScenarios   int
+}
+
+// Diff compares two validated BENCH files under th. It refuses to
+// compare across modes: quick and full runs use different instance
+// sizes, so their counters differ by construction and a cross-mode
+// "regression" would be meaningless.
+func Diff(oldF, newF *File, th Thresholds) (*Result, error) {
+	if err := Validate(oldF); err != nil {
+		return nil, fmt.Errorf("old file: %w", err)
+	}
+	if err := Validate(newF); err != nil {
+		return nil, fmt.Errorf("new file: %w", err)
+	}
+	if oldF.Mode != newF.Mode {
+		return nil, fmt.Errorf("perfbench: cannot diff %s-mode file against %s-mode file (different instance sizes)",
+			oldF.Mode, newF.Mode)
+	}
+	r := &Result{OldTag: oldF.Tag, NewTag: newF.Tag, Mode: oldF.Mode}
+
+	oldByName := make(map[string]*Scenario, len(oldF.Scenarios))
+	for i := range oldF.Scenarios {
+		oldByName[oldF.Scenarios[i].Name] = &oldF.Scenarios[i]
+	}
+	newByName := make(map[string]*Scenario, len(newF.Scenarios))
+	names := make([]string, 0, len(oldF.Scenarios)+len(newF.Scenarios))
+	for i := range newF.Scenarios {
+		newByName[newF.Scenarios[i].Name] = &newF.Scenarios[i]
+		names = append(names, newF.Scenarios[i].Name)
+	}
+	for name := range oldByName {
+		if _, ok := newByName[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		o, haveOld := oldByName[name]
+		n, haveNew := newByName[name]
+		if !haveOld || !haveNew {
+			side := "old"
+			if !haveOld {
+				side = "new"
+			}
+			r.Scenarios = append(r.Scenarios, ScenarioDiff{Name: name, Missing: side})
+			r.MissingScenarios++
+			continue
+		}
+		sd := diffScenario(o, n, th)
+		tally(r, sd.Wall, false)
+		tally(r, sd.Allocs, false)
+		tally(r, sd.Bytes, false)
+		for _, cd := range sd.Counters {
+			tally(r, cd, true)
+		}
+		r.Scenarios = append(r.Scenarios, sd)
+	}
+	return r, nil
+}
+
+func tally(r *Result, md MetricDiff, counter bool) {
+	switch md.Verdict {
+	case VerdictRegression:
+		if counter {
+			r.CounterRegressions++
+		} else {
+			r.TimeRegressions++
+		}
+	case VerdictImprovement:
+		r.Improvements++
+	case VerdictNoise:
+		r.Noise++
+	}
+}
+
+func diffScenario(o, n *Scenario, th Thresholds) ScenarioDiff {
+	sd := ScenarioDiff{Name: o.Name}
+
+	enoughReps := o.Reps >= th.MinReps && n.Reps >= th.MinReps
+	sd.Wall = compare("median_wall_ns", o.MedianWallNs, n.MedianWallNs, th.TimeTol)
+	if !enoughReps {
+		// Too few reps for a trustworthy median: report the ratio but
+		// never gate on it.
+		if sd.Wall.Verdict == VerdictRegression || sd.Wall.Verdict == VerdictImprovement {
+			sd.Wall.Verdict = VerdictNoise
+		}
+	} else if sd.Wall.Verdict == VerdictRegression || sd.Wall.Verdict == VerdictImprovement {
+		// Min-of-k confirmation: the medians moved, but if the best
+		// reps did not move the same way past the tolerance, one noisy
+		// rep dragged the median — call it noise, not a verdict.
+		confirm := compare("min_wall_ns", minOf(o.WallNs), minOf(n.WallNs), th.TimeTol)
+		if confirm.Verdict != sd.Wall.Verdict {
+			sd.Wall.Verdict = VerdictNoise
+		}
+	}
+
+	sd.Allocs = compare("allocs", o.Allocs, n.Allocs, th.AllocTol)
+	sd.Bytes = compare("bytes", o.Bytes, n.Bytes, th.AllocTol)
+	if !enoughReps {
+		for _, md := range []*MetricDiff{&sd.Allocs, &sd.Bytes} {
+			if md.Verdict == VerdictRegression || md.Verdict == VerdictImprovement {
+				md.Verdict = VerdictNoise
+			}
+		}
+	}
+
+	counterNames := make([]string, 0, len(o.Counters))
+	for name := range o.Counters {
+		counterNames = append(counterNames, name)
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		nv, ok := n.Counters[name]
+		if !ok {
+			sd.CountersSkipped++
+			continue
+		}
+		sd.CountersCompared++
+		cd := compare(name, o.Counters[name], nv, th.CounterTol)
+		if cd.Verdict != VerdictOK {
+			sd.Counters = append(sd.Counters, cd)
+		}
+	}
+	for name := range n.Counters {
+		if _, ok := o.Counters[name]; !ok {
+			sd.CountersSkipped++
+		}
+	}
+	return sd
+}
+
+// compare produces the basic tolerance verdict for one metric: a
+// regression when new exceeds old by more than tol, an improvement when
+// it falls below by more than tol, OK inside the band.
+func compare(metric string, oldV, newV int64, tol float64) MetricDiff {
+	md := MetricDiff{Metric: metric, Old: oldV, New: newV, Verdict: VerdictOK}
+	switch {
+	case oldV == 0 && newV == 0:
+		md.Ratio = 1
+	case oldV == 0:
+		md.Ratio = math.Inf(1)
+		md.Verdict = VerdictRegression
+	default:
+		md.Ratio = float64(newV) / float64(oldV)
+		if float64(newV) > float64(oldV)*(1+tol) {
+			md.Verdict = VerdictRegression
+		} else if float64(newV) < float64(oldV)*(1-tol) {
+			md.Verdict = VerdictImprovement
+		}
+	}
+	return md
+}
+
+func minOf(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Format renders the result as an aligned human-readable report.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchdiff: %s → %s (%s mode)\n\n", r.OldTag, r.NewTag, r.Mode)
+	fmt.Fprintf(&b, "%-14s  %-14s  %12s  %12s  %7s  %s\n",
+		"scenario", "metric", "old", "new", "ratio", "verdict")
+	line := func(name string, md MetricDiff) {
+		fmt.Fprintf(&b, "%-14s  %-14s  %12d  %12d  %7.3f  %s\n",
+			name, md.Metric, md.Old, md.New, md.Ratio, md.Verdict)
+	}
+	for _, sd := range r.Scenarios {
+		if sd.Missing != "" {
+			fmt.Fprintf(&b, "%-14s  %-14s  only in %s file: MISSING\n", sd.Name, "-", sd.Missing)
+			continue
+		}
+		line(sd.Name, sd.Wall)
+		line(sd.Name, sd.Allocs)
+		line(sd.Name, sd.Bytes)
+		for _, cd := range sd.Counters {
+			line(sd.Name, cd)
+		}
+		if len(sd.Counters) == 0 {
+			fmt.Fprintf(&b, "%-14s  %-14s  %d counters identical", sd.Name, "counters", sd.CountersCompared)
+			if sd.CountersSkipped > 0 {
+				fmt.Fprintf(&b, " (%d one-sided, skipped)", sd.CountersSkipped)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "\nsummary: %d time/alloc regressions, %d counter regressions, %d improvements, %d noisy, %d missing scenarios\n",
+		r.TimeRegressions, r.CounterRegressions, r.Improvements, r.Noise, r.MissingScenarios)
+	return b.String()
+}

@@ -1,0 +1,231 @@
+// Package perfbench is the continuous-benchmarking subsystem: a pinned
+// suite of canonical-labeling scenarios over the internal/gen families
+// (cfi, pg2, grid-w, had, mz-aug, plus a social-graph bulk-ingest run),
+// measured into a versioned BENCH_<tag>.json artifact and compared
+// between commits by cmd/benchdiff.
+//
+// The design follows what McKay & Piperno ("Practical graph isomorphism,
+// II") and Piperno's search-space-contraction work established about
+// canonical-labeling performance: it is dominated by search-tree size
+// and is wildly family-dependent, so the suite measures *per family*
+// and records the engine's search-effort counters (search nodes,
+// refinement rounds, prune hits) next to the wall times. Wall time is
+// noisy and machine-dependent; the counters are deterministic for the
+// suite's sequential runs, which is why cmd/benchdiff gates hard on
+// counter regressions and only softly on time.
+//
+// A BENCH file is written by Write (which validates first) and read by
+// Read (which validates after decoding), so every artifact in
+// circulation satisfies the schema invariants listed on Validate.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is the BENCH_*.json format version this package reads
+// and writes. Readers reject any other version: the file is a gating
+// artifact, and silently misreading one would turn the regression gate
+// into noise.
+const SchemaVersion = 1
+
+// Modes a suite run can be recorded in. Files of different modes are
+// never comparable (quick mode runs smaller instances, so counters and
+// times differ by construction); Diff refuses to cross them.
+const (
+	ModeQuick = "quick"
+	ModeFull  = "full"
+)
+
+// File is one BENCH_<tag>.json artifact: a suite run pinned to a schema
+// version, a mode, and the toolchain that produced it.
+type File struct {
+	// Schema is the format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Tag names the run, e.g. "PR7" or "ci-1a2b3c4d".
+	Tag string `json:"tag"`
+	// Mode is ModeQuick or ModeFull.
+	Mode string `json:"mode"`
+	// GoVersion, GOOS and GOARCH record the toolchain and platform, for
+	// the human reading a diff across environments.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Scenarios is sorted by Name, one entry per suite scenario run.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Scenario is the measured result of one suite scenario.
+type Scenario struct {
+	// Name identifies the scenario ("cfi", "pg2", …, "social-ingest").
+	Name string `json:"name"`
+	// PaperRef maps the scenario to the paper's evaluation, e.g.
+	// "Tables 2/4/8 (cfi-200)".
+	PaperRef string `json:"paper_ref,omitempty"`
+	// Reps is how many measured repetitions ran (after one untimed
+	// warmup); WallNs holds their wall times in run order.
+	Reps   int     `json:"reps"`
+	WallNs []int64 `json:"wall_ns"`
+	// MedianWallNs is the median of WallNs — the statistic benchdiff
+	// compares (median-of-k is robust to one slow outlier rep).
+	MedianWallNs int64 `json:"median_wall_ns"`
+	// Allocs and Bytes are the median per-rep heap allocation count and
+	// allocated bytes.
+	Allocs int64 `json:"allocs"`
+	Bytes  int64 `json:"bytes"`
+	// PeakMB is the median sampled peak heap of a rep, in MiB
+	// (informational — never gated; the sampler is coarse).
+	PeakMB float64 `json:"peak_mb"`
+	// Counters holds the engine's effort counters (obs snapshot) for one
+	// rep. The suite runs sequentially over seeded generators, so these
+	// are deterministic: only counters whose value was identical across
+	// every rep are kept (a varying counter is dropped rather than
+	// recorded as fake precision). benchdiff gates hard on these.
+	Counters map[string]int64 `json:"counters"`
+	// PhasesNs is each obs phase's total time in ns for the last rep
+	// (informational — wall-clock, so never gated).
+	PhasesNs map[string]int64 `json:"phases_ns,omitempty"`
+}
+
+// Validate checks every schema invariant of f:
+//
+//   - Schema == SchemaVersion, Tag non-empty, Mode quick|full
+//   - at least one scenario; names unique and sorted ascending
+//   - per scenario: Reps ≥ 1, len(WallNs) == Reps, wall times ≥ 0,
+//     MedianWallNs equal to the recomputed median of WallNs,
+//     Allocs/Bytes ≥ 0, Counters present with non-negative values
+//
+// Write refuses to emit a file that fails these; Read refuses to return
+// one.
+func Validate(f *File) error {
+	if f == nil {
+		return fmt.Errorf("perfbench: nil file")
+	}
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("perfbench: unsupported schema version %d (want %d)", f.Schema, SchemaVersion)
+	}
+	if f.Tag == "" {
+		return fmt.Errorf("perfbench: empty tag")
+	}
+	if f.Mode != ModeQuick && f.Mode != ModeFull {
+		return fmt.Errorf("perfbench: bad mode %q (want %q or %q)", f.Mode, ModeQuick, ModeFull)
+	}
+	if len(f.Scenarios) == 0 {
+		return fmt.Errorf("perfbench: no scenarios")
+	}
+	for i, s := range f.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("perfbench: scenario %d: empty name", i)
+		}
+		if i > 0 {
+			switch prev := f.Scenarios[i-1].Name; {
+			case prev == s.Name:
+				return fmt.Errorf("perfbench: duplicate scenario %q", s.Name)
+			case prev > s.Name:
+				return fmt.Errorf("perfbench: scenarios not sorted (%q after %q)", s.Name, prev)
+			}
+		}
+		if s.Reps < 1 {
+			return fmt.Errorf("perfbench: scenario %q: reps %d < 1", s.Name, s.Reps)
+		}
+		if len(s.WallNs) != s.Reps {
+			return fmt.Errorf("perfbench: scenario %q: %d wall samples for %d reps", s.Name, len(s.WallNs), s.Reps)
+		}
+		for _, w := range s.WallNs {
+			if w < 0 {
+				return fmt.Errorf("perfbench: scenario %q: negative wall time %d", s.Name, w)
+			}
+		}
+		if med := median(s.WallNs); med != s.MedianWallNs {
+			return fmt.Errorf("perfbench: scenario %q: median_wall_ns %d does not match samples (recomputed %d)",
+				s.Name, s.MedianWallNs, med)
+		}
+		if s.Allocs < 0 || s.Bytes < 0 {
+			return fmt.Errorf("perfbench: scenario %q: negative allocs/bytes", s.Name)
+		}
+		if s.Counters == nil {
+			return fmt.Errorf("perfbench: scenario %q: missing counters", s.Name)
+		}
+		for name, v := range s.Counters {
+			if v < 0 {
+				return fmt.Errorf("perfbench: scenario %q: counter %s negative (%d)", s.Name, name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// median returns the median of xs (average of the two middle values for
+// even counts; integer division). xs must be non-empty; it is not
+// modified.
+func median(xs []int64) int64 {
+	sorted := make([]int64, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	k := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[k]
+	}
+	return (sorted[k-1] + sorted[k]) / 2
+}
+
+// Write validates f and writes it as indented JSON.
+func Write(w io.Writer, f *File) error {
+	if err := Validate(f); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read decodes and validates one BENCH file. Decoding is strict
+// (unknown fields are an error): an unrecognized field means the file
+// came from a different schema generation, and a gating artifact must
+// not be half-understood.
+func Read(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("perfbench: decode: %w", err)
+	}
+	if err := Validate(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ReadFile reads and validates the BENCH file at path.
+func ReadFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := Read(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// WriteFile validates f and writes it to path (0644, truncating).
+func WriteFile(path string, f *File) error {
+	if err := Validate(f); err != nil {
+		return err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(fh, f); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -1,0 +1,385 @@
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+
+	"dvicl/internal/bench"
+	"dvicl/internal/core"
+	"dvicl/internal/gen"
+	"dvicl/internal/graph"
+	"dvicl/internal/obs"
+	"dvicl/internal/pipeline"
+)
+
+// Options configures one suite run.
+type Options struct {
+	// Tag names the resulting File (e.g. "PR7"). Empty means "dev".
+	Tag string
+	// Quick runs the reduced-size instances (the CI configuration);
+	// otherwise the full-size instances run.
+	Quick bool
+	// Reps is the measured repetitions per scenario (after one untimed
+	// warmup). 0 means the default: 3 quick, 5 full.
+	Reps int
+	// Scenarios restricts the run to the named scenarios (nil = all).
+	Scenarios []string
+	// ProfileDir, when non-empty, captures one CPU profile spanning all
+	// measured reps (<dir>/<name>.cpu.pprof) and one post-run heap
+	// profile (<dir>/<name>.heap.pprof) per scenario. Profiling adds a
+	// few percent of overhead, so compare profiled runs against
+	// profiled baselines.
+	ProfileDir string
+	// Log receives one progress line per scenario (nil = silent).
+	Log io.Writer
+}
+
+// spec is one pinned suite scenario: a setup step (not timed — graph or
+// record construction) returning the work function measured per rep.
+// The work function must be deterministic for a fixed mode: the suite
+// runs everything sequentially so the recorded counters are exact.
+type spec struct {
+	name     string
+	paperRef string
+	setup    func(quick bool) (work func(rec *obs.Recorder) error, err error)
+}
+
+// buildSpec is the common shape of the family scenarios: construct the
+// graph once, measure a sequential core.Build per rep.
+func buildSpec(name, paperRef string, mk func(quick bool) (*graph.Graph, error)) spec {
+	return spec{
+		name:     name,
+		paperRef: paperRef,
+		setup: func(quick bool) (func(rec *obs.Recorder) error, error) {
+			g, err := mk(quick)
+			if err != nil {
+				return nil, err
+			}
+			return func(rec *obs.Recorder) error {
+				tree := core.Build(g, nil, core.Options{Obs: rec})
+				if tree == nil {
+					return fmt.Errorf("perfbench: %s: nil tree", name)
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// Suite is the pinned scenario set, in name order. Sizes are fixed per
+// mode: changing them invalidates every committed baseline of that
+// mode, so treat a size change like a schema change (regenerate
+// BENCH_* baselines in the same commit).
+func suite() []spec {
+	specs := []spec{
+		buildSpec("cfi", "Tables 2/4/8 (cfi-200)", func(quick bool) (*graph.Graph, error) {
+			k := 200
+			if quick {
+				k = 60
+			}
+			return gen.CFI(gen.RigidCubic(k, 41), false), nil
+		}),
+		buildSpec("grid-w", "Tables 2/4/8 (grid-w-3-20)", func(quick bool) (*graph.Graph, error) {
+			side := 20
+			if quick {
+				side = 10
+			}
+			return gen.GridW(3, side), nil
+		}),
+		buildSpec("had", "Tables 2/4/8 (had-256)", func(quick bool) (*graph.Graph, error) {
+			n := 256
+			if quick {
+				n = 64
+			}
+			return gen.Hadamard(n), nil
+		}),
+		buildSpec("mz-aug", "Tables 2/4/8 (mz-aug-50)", func(quick bool) (*graph.Graph, error) {
+			k := 50
+			if quick {
+				k = 16
+			}
+			return gen.MzAug(k), nil
+		}),
+		// pg2 grows brutally superlinearly in q (PG2(11) already costs
+		// minutes per build — the family is the paper's hardest for
+		// individualization–refinement), so the suite pins the largest
+		// sizes that keep a rep under a second.
+		buildSpec("pg2", "Tables 2/4/8 (pg2-49)", func(quick bool) (*graph.Graph, error) {
+			q := 9
+			if quick {
+				q = 7
+			}
+			return gen.PG2(q)
+		}),
+		socialIngestSpec(),
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].name < specs[j].name })
+	return specs
+}
+
+// socialIngestSpec measures the bulk-ingest path end to end: a stream
+// of graph6-encoded social-graph stand-ins (the Table 1 workload shape)
+// through internal/pipeline with one worker — single-worker so record
+// order, certificates and counters are all deterministic.
+func socialIngestSpec() spec {
+	return spec{
+		name:     "social-ingest",
+		paperRef: "Tables 1/5 workload shape (social-graph stand-ins), bulk-ingest path",
+		setup: func(quick bool) (func(rec *obs.Recorder) error, error) {
+			count, n, m := 160, 400, 1400
+			if quick {
+				count, n, m = 48, 150, 500
+			}
+			records := make([]string, count)
+			for i := range records {
+				g := gen.Social(gen.SocialConfig{
+					Name: "perfbench", N: n, M: m,
+					TwinFrac: 0.12, PendantFrac: 0.18,
+					Seed: int64(9000 + i),
+				})
+				s, err := graph.ToGraph6(g)
+				if err != nil {
+					return nil, fmt.Errorf("perfbench: social-ingest encode: %w", err)
+				}
+				records[i] = s
+			}
+			return func(rec *obs.Recorder) error {
+				classes := make(map[string]struct{}, count)
+				report, err := pipeline.Run(pipeline.Config{
+					Workers: 1,
+					Decode:  graph.FromGraph6,
+					Canon: func(ctx context.Context, g *graph.Graph, wrec *obs.Recorder) (string, error) {
+						t, err := core.BuildCtx(ctx, g, nil, core.Options{Obs: wrec})
+						if err != nil {
+							return "", err
+						}
+						return string(t.CanonicalCert()), nil
+					},
+					Apply: func(seq int64, cert string) error {
+						classes[cert] = struct{}{}
+						return nil
+					},
+					Obs: rec,
+				}, pipeline.SliceSource(records, 1))
+				if err != nil {
+					return err
+				}
+				if report.Applied != int64(count) {
+					return fmt.Errorf("perfbench: social-ingest applied %d of %d", report.Applied, count)
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// Run executes the suite and returns the measured File (already
+// validated). Every scenario runs one untimed warmup rep, then Reps
+// measured reps, each on a fresh recorder; counters are kept only if
+// identical across all reps (see Scenario.Counters).
+func Run(opts Options) (*File, error) {
+	tag := opts.Tag
+	if tag == "" {
+		tag = "dev"
+	}
+	reps := opts.Reps
+	if reps <= 0 {
+		if opts.Quick {
+			reps = 3
+		} else {
+			reps = 5
+		}
+	}
+	mode := ModeFull
+	if opts.Quick {
+		mode = ModeQuick
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	if opts.ProfileDir != "" {
+		if err := os.MkdirAll(opts.ProfileDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	f := &File{
+		Schema:    SchemaVersion,
+		Tag:       tag,
+		Mode:      mode,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, sp := range suite() {
+		if !wanted(sp.name, opts.Scenarios) {
+			continue
+		}
+		sc, err := runScenario(sp, opts.Quick, reps, opts.ProfileDir, logf)
+		if err != nil {
+			return nil, err
+		}
+		f.Scenarios = append(f.Scenarios, sc)
+	}
+	if err := Validate(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ScenarioNames lists the suite's scenario names in order.
+func ScenarioNames() []string {
+	specs := suite()
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.name
+	}
+	return names
+}
+
+func wanted(name string, filter []string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if strings.EqualFold(strings.TrimSpace(f), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func runScenario(sp spec, quick bool, reps int, profileDir string, logf func(string, ...any)) (Scenario, error) {
+	work, err := sp.setup(quick)
+	if err != nil {
+		return Scenario{}, err
+	}
+
+	// Warmup: primes sync.Pool workspaces and code paths so rep 1 is
+	// not an allocation outlier.
+	if err := work(obs.New()); err != nil {
+		return Scenario{}, fmt.Errorf("perfbench: %s warmup: %w", sp.name, err)
+	}
+
+	var cpuFile *os.File
+	if profileDir != "" {
+		cpuFile, err = os.Create(filepath.Join(profileDir, sp.name+".cpu.pprof"))
+		if err != nil {
+			return Scenario{}, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return Scenario{}, fmt.Errorf("perfbench: %s: cpu profile: %w", sp.name, err)
+		}
+	}
+
+	sc := Scenario{Name: sp.name, PaperRef: sp.paperRef, Reps: reps}
+	var (
+		allocs, bytes []int64
+		peaks         []float64
+		snaps         []obs.Snapshot
+		workErr       error
+	)
+	for rep := 0; rep < reps; rep++ {
+		rec := obs.New()
+		m := bench.Measure(func() bool {
+			workErr = work(rec)
+			return workErr == nil
+		})
+		if workErr != nil {
+			stopProfile(cpuFile)
+			return Scenario{}, fmt.Errorf("perfbench: %s rep %d: %w", sp.name, rep, workErr)
+		}
+		sc.WallNs = append(sc.WallNs, int64(m.Time))
+		allocs = append(allocs, m.Allocs)
+		bytes = append(bytes, m.Bytes)
+		peaks = append(peaks, m.PeakMB)
+		snaps = append(snaps, rec.Snapshot())
+	}
+	stopProfile(cpuFile)
+	if profileDir != "" {
+		if err := writeHeapProfile(filepath.Join(profileDir, sp.name+".heap.pprof")); err != nil {
+			return Scenario{}, fmt.Errorf("perfbench: %s: heap profile: %w", sp.name, err)
+		}
+	}
+
+	sc.MedianWallNs = median(sc.WallNs)
+	sc.Allocs = median(allocs)
+	sc.Bytes = median(bytes)
+	sc.PeakMB = medianFloat(peaks)
+	var dropped []string
+	sc.Counters, dropped = stableCounters(snaps)
+	sc.PhasesNs = snaps[len(snaps)-1].PhaseTotals()
+	if len(dropped) > 0 {
+		logf("perfbench: %s: dropped non-deterministic counters: %s", sp.name, strings.Join(dropped, ", "))
+	}
+	logf("perfbench: %-14s median %8.1fms  allocs %9d  search_nodes %d",
+		sp.name, float64(sc.MedianWallNs)/1e6, sc.Allocs, sc.Counters["search_nodes"])
+	return sc, nil
+}
+
+func stopProfile(cpuFile *os.File) {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// stableCounters intersects the rep snapshots: a counter is kept only
+// if every rep recorded the identical value. The suite's scenarios are
+// sequential and seeded, so in practice nothing is dropped — the
+// intersection is the safety net that keeps benchdiff's hard counter
+// gate honest if a scenario ever picks up nondeterminism.
+func stableCounters(snaps []obs.Snapshot) (map[string]int64, []string) {
+	out := make(map[string]int64, len(snaps[0].Counters))
+	var dropped []string
+	for name, v := range snaps[0].Counters {
+		stable := true
+		for _, s := range snaps[1:] {
+			if s.Counters[name] != v {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			out[name] = v
+		} else {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	return out, dropped
+}
+
+func medianFloat(xs []float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	k := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[k]
+	}
+	return (sorted[k-1] + sorted[k]) / 2
+}

@@ -1,6 +1,11 @@
 #!/bin/bash
-cd /root/repo
+# Regenerates the recorded table*.txt outputs. Build the harness first:
+#     go build -o /tmp/benchtables ./cmd/benchtables
+# Add "-json results" to any line to also capture BENCH_table<N>.json
+# (per-row obs counter snapshots).
+cd "$(dirname "$0")/.." || exit 1
 B=/tmp/benchtables
+[ -x "$B" ] || go build -o "$B" ./cmd/benchtables || exit 1
 $B -table 2 -scale 50 -timeout 60s > results/table2.txt 2>&1; echo table2 done
 $B -table 4 -scale 50 -timeout 60s > results/table4.txt 2>&1; echo table4 done
 $B -table 1 -scale 50 > results/table1.txt 2>&1; echo table1 done
@@ -8,4 +13,4 @@ $B -table 3 -scale 50 > results/table3.txt 2>&1; echo table3 done
 $B -table 6 -scale 50 > results/table6.txt 2>&1; echo table6 done
 $B -table 7 -scale 50 -maxsubgraphs 100000 > results/table7.txt 2>&1; echo table7 done
 $B -table 8 -timeout 60s > results/table8.txt 2>&1; echo table8 done
-$B -table 5 -scale 50 -timeout 15s > results/table5.txt 2>&1; echo table5 done
+$B -table 5 -scale 50 -timeout 15s -json results > results/table5.txt 2>&1; echo table5 done

@@ -1,8 +1,12 @@
 #!/bin/bash
-cd /root/repo
+# Partial re-run used for the benchmark-family tables at full size
+# (no -scale: tables 2/4/8 use the paper's instance sizes).
+# Build the harness first: go build -o /tmp/benchtables ./cmd/benchtables
+cd "$(dirname "$0")/.." || exit 1
 B=/tmp/benchtables
+[ -x "$B" ] || go build -o "$B" ./cmd/benchtables || exit 1
 $B -table 7 -scale 50 -maxsubgraphs 100000 > results/table7.txt 2>&1; echo table7 done
 $B -table 2 -timeout 60s > results/table2.txt 2>&1; echo table2 done
 $B -table 4 -timeout 60s > results/table4.txt 2>&1; echo table4 done
 $B -table 8 -timeout 60s > results/table8.txt 2>&1; echo table8 done
-$B -table 5 -scale 50 -timeout 15s > results/table5.txt 2>&1; echo table5 done
+$B -table 5 -scale 50 -timeout 15s -json results > results/table5.txt 2>&1; echo table5 done
