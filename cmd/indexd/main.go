@@ -10,7 +10,7 @@
 //	       [-compact-every n] [-max-inflight n] [-max-verts n]
 //	       [-max-body-bytes n] [-timeout d] [-build-timeout d] [-workers n]
 //	       [-bulk-workers n] [-metrics-json out.json] [-debug-addr :6060]
-//	       [-slow-build d] [-flight-recorder n]
+//	       [-slow-build d] [-flight-recorder n] [-treestore] [-treestore-mem n]
 //
 // Endpoints (JSON; see docs/OPERATIONS.md for curl examples):
 //
@@ -22,8 +22,21 @@
 //	POST /flush    force a snapshot compaction → index stats
 //	GET  /stats    index + cache + counter statistics
 //	GET  /metrics  Prometheus text exposition (counters, phase histograms, gauges)
+//	GET  /orbits?id=N    orbit partition of the stored graph's class
+//	GET  /autgroup?id=N  |Aut| (decimal string) + sparse generators
+//	GET  /quotient?id=N  orbit-quotient graph + vertex→orbit map
+//	POST /ssm      {"id":N,"pattern":[0,1],"limit":4} → image count (+ images)
 //	GET  /debug/builds  flight recorder: recent + slow builds with span trees
 //	GET  /healthz  liveness ("ok", 200)
+//	GET  /readyz   readiness (index open and its directory writable)
+//
+// The symmetry queries (/orbits, /autgroup, /quotient, /ssm) answer at
+// the isomorphism-class level, over the canonical graph of the id's
+// class. With -treestore (the default) each class's AutoTree is kept in
+// a content-addressed store beside the index — write-behind persisted on
+// add, cached decoded in memory under -treestore-mem — so the warm path
+// performs zero DviCL builds; cold, missing, or corrupt entries degrade
+// to a single recompute, never an error.
 //
 // Graph-processing requests carry a request id (the client's X-Request-Id
 // or a generated one), echoed in the response header and error bodies; a
@@ -76,6 +89,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
 	slowBuild := flag.Duration("slow-build", time.Second, "retain and log builds at least this slow in the flight recorder's slow ring (0 = disable)")
 	flightSize := flag.Int("flight-recorder", 64, "completed builds kept per flight-recorder ring (/debug/builds)")
+	treeStore := flag.Bool("treestore", true, "keep an AutoTree store beside the index so symmetry queries skip rebuilds (persistent under -data, in-memory otherwise)")
+	treeStoreMem := flag.Int64("treestore-mem", 0, "decoded-tree cache budget in bytes, index-wide (0 = default 256 MiB)")
 	flag.Parse()
 
 	rec := dvicl.NewMetricsRecorder()
@@ -85,6 +100,9 @@ func main() {
 		SyncWrites:   *sync,
 		CompactEvery: *compactEvery,
 		Shards:       *shards,
+	}
+	if *treeStore {
+		opt.TreeStore = &dvicl.TreeStoreOptions{MemBudget: *treeStoreMem}
 	}
 
 	var ix *dvicl.GraphIndex
@@ -98,7 +116,7 @@ func main() {
 		log.Printf("indexd: loaded %d graphs (%d classes, %d shards) from %s: snapshot=%d wal=%d torn-bytes=%d",
 			st.Graphs, st.Classes, st.Shards, *data, st.SnapshotCerts, st.ReplayedRecords, st.RecoveredBytes)
 	} else {
-		ix = dvicl.NewShardedGraphIndex(opt.DviCL, *shards)
+		ix = dvicl.NewGraphIndexWithOptions(opt)
 		log.Printf("indexd: in-memory index (no -data directory; adds will not survive restart)")
 	}
 

@@ -95,6 +95,9 @@ const (
 	// maxRequestIDLen caps accepted X-Request-Id values; longer (or
 	// non-printable) ids are replaced with a generated one.
 	maxRequestIDLen = 64
+	// maxSSMImages caps how many automorphic images one /ssm request may
+	// enumerate (the count is always exact; only enumeration is bounded).
+	maxSSMImages = 10000
 )
 
 // serverConfig bundles the daemon's request-handling knobs (the flag
@@ -163,10 +166,18 @@ func (s *server) handler(timeout time.Duration) http.Handler {
 	mux.HandleFunc("POST /lookup", s.limited(s.traced("lookup", s.handleLookup)))
 	mux.HandleFunc("POST /batch", s.limited(s.traced("batch", s.handleBatch)))
 	mux.HandleFunc("POST /flush", s.limited(s.handleFlush))
+	// Symmetry queries share the admission semaphore with /add: the warm
+	// path is cheap (cached AutoTree), but a cold or corrupt entry
+	// degrades to a full DviCL rebuild.
+	mux.HandleFunc("GET /orbits", s.limited(s.traced("orbits", s.handleOrbits)))
+	mux.HandleFunc("GET /autgroup", s.limited(s.traced("autgroup", s.handleAutGroup)))
+	mux.HandleFunc("GET /quotient", s.limited(s.traced("quotient", s.handleQuotient)))
+	mux.HandleFunc("POST /ssm", s.limited(s.traced("ssm", s.handleSSM)))
 	mux.HandleFunc("GET /stats", s.instrumented(s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrumented(s.handleMetrics))
 	mux.HandleFunc("GET /debug/builds", s.instrumented(s.flight.handleBuilds))
 	mux.HandleFunc("GET /healthz", s.instrumented(s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrumented(s.handleReadyz))
 	body := `{"error":"request timed out"}` + "\n"
 	outer := http.NewServeMux()
 	outer.HandleFunc("POST /bulk", s.instrumented(s.traced("bulk", s.handleBulk)))
@@ -671,6 +682,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{Name: "index_cache_entries", Help: "Certificate LRU cache entries.", Value: float64(st.CacheEntries)},
 		{Name: "index_wal_records", Help: "WAL appends since the last snapshot, summed across shards.", Value: float64(st.WALRecords)},
 		{Name: "uptime_seconds", Help: "Seconds since the daemon started.", Value: time.Since(s.start).Seconds()},
+	}
+	if ts := st.TreeStore; ts != nil {
+		gauges = append(gauges,
+			obs.PromGauge{Name: "treestore_entries", Help: "Decoded AutoTrees cached in memory, summed across shards.", Value: float64(ts.Entries)},
+			obs.PromGauge{Name: "treestore_bytes", Help: "Encoded bytes of cached AutoTrees, summed across shards.", Value: float64(ts.Bytes)},
+			obs.PromGauge{Name: "treestore_mem_budget_bytes", Help: "Configured decoded-tree cache budget (index-wide).", Value: float64(ts.MemBudget)},
+		)
 	}
 	for i, n := range st.ShardGraphs {
 		gauges = append(gauges, obs.PromGauge{

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dvicl"
+)
+
+// Symmetry-query endpoints: answer orbit / automorphism-group / quotient
+// / SSM questions about a stored graph by id, served from the index's
+// persistent AutoTree store (warm path: zero DviCL builds). Answers are
+// class-level, phrased over the canonical graph of the id's isomorphism
+// class — every isomorphic graph in the index answers identically.
+
+type sparsePermResp struct {
+	N     int      `json:"n"`
+	Moved [][2]int `json:"moved"`
+}
+
+type orbitsResp struct {
+	ID     int     `json:"id"`
+	N      int     `json:"n"`
+	Orbits [][]int `json:"orbits"`
+}
+
+type autgroupResp struct {
+	ID int `json:"id"`
+	N  int `json:"n"`
+	// Order is |Aut(G)| as a decimal string — it routinely exceeds uint64
+	// (e.g. star graphs have (n−1)! automorphisms).
+	Order      string           `json:"order"`
+	Generators []sparsePermResp `json:"generators"`
+}
+
+type quotientResp struct {
+	ID        int      `json:"id"`
+	N         int      `json:"n"`
+	QuotientN int      `json:"quotient_n"`
+	Edges     [][2]int `json:"edges"`
+	OrbitOf   []int    `json:"orbit_of"`
+}
+
+type ssmReq struct {
+	ID      int   `json:"id"`
+	Pattern []int `json:"pattern"`
+	Limit   int   `json:"limit"`
+}
+
+type ssmResp struct {
+	ID      int     `json:"id"`
+	Pattern []int   `json:"pattern"`
+	Count   string  `json:"count"`
+	Images  [][]int `json:"images,omitempty"`
+}
+
+// queryID parses the required ?id= parameter.
+func queryID(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("id")
+	if raw == "" {
+		return 0, errors.New("missing id parameter")
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad id %q", raw)
+	}
+	return id, nil
+}
+
+// symmetryError maps a symmetry-query failure onto an HTTP response,
+// reporting whether there was one: unknown ids are 404, malformed
+// patterns 400, and build failures (cancellation, budget, closed index)
+// go through the shared buildError mapping.
+func (s *server) symmetryError(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, dvicl.ErrUnknownID):
+		s.writeErr(w, r, http.StatusNotFound, err.Error())
+		return true
+	case errors.Is(err, dvicl.ErrInvalidPattern):
+		s.writeErr(w, r, http.StatusBadRequest, err.Error())
+		return true
+	}
+	return s.buildError(w, r, err)
+}
+
+func (s *server) handleOrbits(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	orbits, err := s.ix.OrbitsCtx(r.Context(), id)
+	if s.symmetryError(w, r, err) {
+		return
+	}
+	n := 0
+	for _, o := range orbits {
+		n += len(o)
+	}
+	writeJSON(w, http.StatusOK, orbitsResp{ID: id, N: n, Orbits: orbits})
+}
+
+func (s *server) handleAutGroup(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	order, gens, err := s.ix.AutGroupCtx(r.Context(), id)
+	if s.symmetryError(w, r, err) {
+		return
+	}
+	resp := autgroupResp{ID: id, Order: order.String(), Generators: make([]sparsePermResp, len(gens))}
+	for i, g := range gens {
+		resp.N = g.N
+		moved := g.Moved
+		if moved == nil {
+			moved = [][2]int{}
+		}
+		resp.Generators[i] = sparsePermResp{N: g.N, Moved: moved}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleQuotient(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := s.ix.QuotientCtx(r.Context(), id)
+	if s.symmetryError(w, r, err) {
+		return
+	}
+	edges := q.Graph.Edges()
+	if edges == nil {
+		edges = [][2]int{}
+	}
+	writeJSON(w, http.StatusOK, quotientResp{
+		ID:        id,
+		N:         len(q.OrbitOf),
+		QuotientN: q.Graph.N(),
+		Edges:     edges,
+		OrbitOf:   q.OrbitOf,
+	})
+}
+
+func (s *server) handleSSM(w http.ResponseWriter, r *http.Request) {
+	var req ssmReq
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Limit < 0 || req.Limit > maxSSMImages {
+		s.writeErr(w, r, http.StatusBadRequest,
+			fmt.Sprintf("limit %d out of range [0,%d]", req.Limit, maxSSMImages))
+		return
+	}
+	count, images, err := s.ix.SSMCtx(r.Context(), req.ID, req.Pattern, req.Limit)
+	if s.symmetryError(w, r, err) {
+		return
+	}
+	if req.Pattern == nil {
+		req.Pattern = []int{}
+	}
+	writeJSON(w, http.StatusOK, ssmResp{
+		ID:      req.ID,
+		Pattern: req.Pattern,
+		Count:   count.String(),
+		Images:  images,
+	})
+}
+
+// handleReadyz is the readiness probe: 200 when the index can serve and
+// persist (open, data directory writable), 503 otherwise. Distinct from
+// /healthz, which only answers "the process is up" — a daemon whose disk
+// filled is alive but not ready.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.ix.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// queryIndex posts the SSM query to a running indexd daemon, which
+// answers from its persistent AutoTree store — no local build at all.
+func queryIndex(baseURL string, id int, set []int, enumerate int) error {
+	body, err := json.Marshal(map[string]any{
+		"id":      id,
+		"pattern": set,
+		"limit":   enumerate,
+	})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(baseURL, "/") + "/ssm"
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s (status %d)", url, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	var out struct {
+		ID     int     `json:"id"`
+		Count  string  `json:"count"`
+		Images [][]int `json:"images"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return fmt.Errorf("decode %s response: %w", url, err)
+	}
+	fmt.Printf("graph %d (canonical space): symmetric subgraphs of %v: %s (served in %v)\n",
+		out.ID, set, out.Count, time.Since(start).Round(time.Microsecond))
+	for i, img := range out.Images {
+		fmt.Printf("  image %d: %v\n", i, img)
+	}
+	return nil
+}

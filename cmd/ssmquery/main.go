@@ -8,9 +8,16 @@
 //	ssmquery -graph graph.txt -set 3,4,5 [-enumerate 10]
 //	ssmquery -graph graph.txt -triangles [-limit 100000]
 //	ssmquery -graph graph.txt -set 3,4,5 -metrics-json out.json -debug-addr :6060
+//	ssmquery -index http://localhost:7171 -id 0 -set 0,1 [-enumerate 10]
 //
 // With -triangles it instead clusters all triangles of the graph into
 // symmetry classes (the paper's Table 7 workload).
+//
+// With -index it queries a running indexd daemon's /ssm endpoint instead
+// of building anything locally: -id names a stored graph, and the daemon
+// answers from its persistent AutoTree store (warm path: zero rebuilds).
+// The vertex set is then in canonical-graph space — the daemon's answers
+// are class-level.
 //
 // -metrics-json dumps the build and query counters (refinement, leaf
 // search effort, SSM candidates/prunings, phase timings) to a file;
@@ -29,7 +36,9 @@ import (
 )
 
 func main() {
-	graphPath := flag.String("graph", "", "edge-list file (required)")
+	graphPath := flag.String("graph", "", "edge-list file (required unless -index)")
+	indexURL := flag.String("index", "", "query a running indexd at this base URL instead of building locally")
+	graphID := flag.Int("id", 0, "stored graph id to query (with -index)")
 	setArg := flag.String("set", "", "comma-separated vertex set to query")
 	enumerate := flag.Int("enumerate", 10, "how many symmetric images to print")
 	triangles := flag.Bool("triangles", false, "cluster all triangles by symmetry instead")
@@ -38,8 +47,21 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address")
 	flag.Parse()
 
+	if *indexURL != "" {
+		if *setArg == "" {
+			fatal(fmt.Errorf("-index mode requires -set"))
+		}
+		set, err := parseSet(*setArg, -1)
+		if err != nil {
+			fatal(err)
+		}
+		if err := queryIndex(*indexURL, *graphID, set, *enumerate); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *graphPath == "" {
-		fatal(fmt.Errorf("-graph is required"))
+		fatal(fmt.Errorf("-graph is required (or -index)"))
 	}
 	var rec *dvicl.MetricsRecorder
 	if *metricsJSON != "" || *debugAddr != "" {
@@ -79,16 +101,9 @@ func main() {
 	if *setArg == "" {
 		fatal(fmt.Errorf("provide -set or -triangles"))
 	}
-	var set []int
-	for _, part := range strings.Split(*setArg, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			fatal(err)
-		}
-		if v < 0 || v >= g.N() {
-			fatal(fmt.Errorf("vertex %d out of range", v))
-		}
-		set = append(set, v)
+	set, err := parseSet(*setArg, g.N())
+	if err != nil {
+		fatal(err)
 	}
 	start = time.Now()
 	count := ix.CountImages(set)
@@ -99,6 +114,23 @@ func main() {
 			fmt.Printf("  image %d: %v\n", i, img)
 		}
 	}
+}
+
+// parseSet parses a comma-separated vertex list; n < 0 skips the range
+// check (the -index mode leaves validation to the daemon).
+func parseSet(arg string, n int) ([]int, error) {
+	var set []int
+	for _, part := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n >= 0 && (v < 0 || v >= n) {
+			return nil, fmt.Errorf("vertex %d out of range", v)
+		}
+		set = append(set, v)
+	}
+	return set, nil
 }
 
 func clusterTriangles(g *dvicl.Graph, ix *dvicl.SSMIndex, limit int) {

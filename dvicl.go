@@ -44,6 +44,7 @@ import (
 	"dvicl/internal/obs"
 	"dvicl/internal/perm"
 	"dvicl/internal/ssm"
+	"dvicl/internal/treestore"
 )
 
 // Graph is an immutable undirected simple graph (CSR representation).
@@ -109,6 +110,25 @@ const (
 
 // SSMIndex answers symmetric-subgraph-matching queries (Algorithm 6).
 type SSMIndex = ssm.Index
+
+// SparsePerm is a permutation in sparse (moved-points) form: the pairs
+// (i, π(i)) with π(i) ≠ i. The AutoTree generator set and the /autgroup
+// endpoint use it — automorphisms of large graphs typically move few
+// vertices.
+type SparsePerm = perm.Sparse
+
+// QuotientResult is the orbit-quotient graph of an AutoTree (orbit
+// representatives, member counts, and the collapsed edge multiset).
+type QuotientResult = core.QuotientResult
+
+// TreeStore is a content-addressed persistent store of AutoTrees keyed
+// by canonical certificate, with a byte-budgeted in-memory cache of
+// decoded trees and rebuild-on-miss (see OpenTreeStore and
+// IndexOptions.TreeStore).
+type TreeStore = treestore.Store
+
+// TreeStoreStats is a point-in-time summary of a TreeStore's cache.
+type TreeStoreStats = treestore.Stats
 
 // SubgraphMatcher is a VF2-style induced-subgraph matcher (the paper's
 // SM subroutine).
@@ -294,6 +314,17 @@ func SaveAutoTree(t *AutoTree, w io.Writer) error { return t.Save(w) }
 // LoadAutoTree reads an index saved by SaveAutoTree. g must be the graph
 // the index was built from.
 func LoadAutoTree(r io.Reader, g *Graph) (*AutoTree, error) { return core.Load(r, g) }
+
+// OpenTreeStore opens (creating the directory if needed) a standalone
+// content-addressed AutoTree store rooted at dir; dir == "" keeps the
+// store memory-only. Get serves from the in-memory cache, then disk,
+// then rebuilds from the certificate itself — corrupt or missing entries
+// degrade to a recompute, never an error. A GraphIndex opened with
+// IndexOptions.TreeStore manages its own stores; this entry point is for
+// storeless pipelines (e.g. cmd/ssmquery warm caches).
+func OpenTreeStore(dir string, opt TreeStoreOptions) (*TreeStore, error) {
+	return treestore.Open(dir, opt)
+}
 
 // Baseline runs the individualization–refinement canonical labeler (the
 // stand-in for nauty/bliss/traces) directly on (g, pi).

@@ -11,6 +11,7 @@ import (
 
 	"dvicl/internal/obs"
 	"dvicl/internal/store"
+	"dvicl/internal/treestore"
 )
 
 // ErrIndexClosed is returned by operations on a GraphIndex after Close.
@@ -49,7 +50,22 @@ type IndexOptions struct {
 	// subdirectories. The count is fixed at creation: reopening an
 	// existing directory adopts the on-disk count and ignores this field.
 	Shards int
+	// TreeStore, when non-nil, opens a persistent AutoTree store beside
+	// each shard's certificate store (a trees/ subdirectory) and enables
+	// the symmetry-query serving path: OrbitsCtx, AutGroupCtx,
+	// QuotientCtx and SSMCtx answer from stored trees, and every Add of a
+	// new isomorphism class write-behind persists its tree. The
+	// TreeStoreOptions Build and Obs fields are overridden with the
+	// index's own DviCL options and recorder; MemBudget is the total
+	// decoded-tree cache across all shards. With TreeStore nil the
+	// symmetry queries still work but rebuild the tree on every call.
+	TreeStore *TreeStoreOptions
 }
+
+// TreeStoreOptions configures the AutoTree store of a GraphIndex (see
+// IndexOptions.TreeStore) or a standalone store opened with
+// OpenTreeStore.
+type TreeStoreOptions = treestore.Options
 
 // indexShard is one independently locked partition of a GraphIndex: a
 // slice of the certificate space (hash-routed by certificate bytes) with
@@ -61,7 +77,8 @@ type indexShard struct {
 	certs   []string         // local id -> certificate
 	closed  bool
 
-	st         *store.Store // nil for an ephemeral index
+	st         *store.Store     // nil for an ephemeral index
+	ts         *treestore.Store // nil when IndexOptions.TreeStore is unset
 	compacting atomic.Bool
 }
 
@@ -118,11 +135,38 @@ type GraphIndex struct {
 	bg           sync.WaitGroup
 	closing      atomic.Bool
 
+	// Write-behind tree persistence: Adds of new classes enqueue their
+	// certificate (under the shard lock, so no enqueue can race Close);
+	// tsWorkers goroutines drain the queue into the shard tree stores. A
+	// full queue drops the persist — the treestore has cache semantics,
+	// so a dropped entry merely costs a rebuild on first query.
+	tsPersist   chan tsPersistReq
+	tsPending   sync.WaitGroup // queued-but-unpersisted certificates
+	tsWorkerWG  sync.WaitGroup // running persist workers
+	dataDir     string         // index root; "" for an ephemeral index
+	hasTreeCols bool           // IndexOptions.TreeStore was non-nil
+
 	// Open-time recovery facts, summed across shards, surfaced in Stats.
 	snapshotCerts  int
 	replayedAtOpen int
 	recoveredBytes int64
 }
+
+// tsPersistReq asks a persist worker to make one certificate's AutoTree
+// durable in one shard's tree store.
+type tsPersistReq struct {
+	ts   *treestore.Store
+	cert string
+}
+
+// Write-behind persistence tuning: tsWorkers goroutines drain a queue of
+// tsQueueLen certificates. The queue absorbs Add bursts; overflow drops
+// the persist (counted as treestore_persist_dropped) rather than ever
+// blocking an Add on tree serialization.
+const (
+	tsWorkers  = 2
+	tsQueueLen = 1024
+)
 
 // shardOf routes a certificate to a shard number. FNV-1a over the
 // certificate bytes: stable across processes and builds (the assignment
@@ -171,16 +215,93 @@ func NewGraphIndex(opt Options) *GraphIndex {
 // many goroutines Add concurrently — e.g. the indexd bulk path on an
 // in-memory index.
 func NewShardedGraphIndex(opt Options, shards int) *GraphIndex {
-	if shards < 1 {
-		shards = 1
+	return NewGraphIndexWithOptions(IndexOptions{DviCL: opt, Shards: shards})
+}
+
+// NewGraphIndexWithOptions returns an empty ephemeral index honoring the
+// full IndexOptions surface: shard count, cache size, and — when
+// TreeStore is non-nil — a memory-only AutoTree store per shard, so the
+// symmetry-query warm path works without a data directory. The
+// persistence knobs (SyncWrites, CompactEvery) are ignored. An index
+// with a tree store must be Closed to stop its persist workers.
+func NewGraphIndexWithOptions(opt IndexOptions) *GraphIndex {
+	nShards := opt.Shards
+	if nShards < 1 {
+		nShards = 1
 	}
-	if shards > store.MaxShards {
-		shards = store.MaxShards
+	if nShards > store.MaxShards {
+		nShards = store.MaxShards
 	}
-	return &GraphIndex{
-		shards: newShards(shards),
-		opt:    opt,
-		cache:  newCertCache(defaultCacheSize, shards),
+	ix := &GraphIndex{
+		shards: newShards(nShards),
+		opt:    opt.DviCL,
+	}
+	switch {
+	case opt.CacheSize > 0:
+		ix.cache = newCertCache(opt.CacheSize, nShards)
+	case opt.CacheSize == 0:
+		ix.cache = newCertCache(defaultCacheSize, nShards)
+	}
+	if opt.TreeStore != nil {
+		// Memory-only stores cannot fail to open.
+		if err := ix.initTreeStores("", *opt.TreeStore); err != nil {
+			panic("dvicl: ephemeral tree store: " + err.Error())
+		}
+	}
+	return ix
+}
+
+// initTreeStores opens one AutoTree store per shard (under
+// <shard>/trees when root is non-empty, memory-only otherwise) and
+// starts the write-behind persist workers. The configured MemBudget is
+// the index-wide total, split evenly across shards.
+func (ix *GraphIndex) initTreeStores(root string, topt treestore.Options) error {
+	topt.Build = ix.opt
+	topt.Obs = ix.opt.Obs
+	if topt.MemBudget == 0 {
+		topt.MemBudget = treestore.DefaultMemBudget
+	}
+	if per := topt.MemBudget / int64(len(ix.shards)); per > 0 {
+		topt.MemBudget = per
+	} else if topt.MemBudget > 0 {
+		topt.MemBudget = 1
+	}
+	for i, sh := range ix.shards {
+		tdir := ""
+		if root != "" {
+			sdir := root
+			if len(ix.shards) > 1 {
+				sdir = filepath.Join(root, store.ShardDir(i))
+			}
+			tdir = filepath.Join(sdir, "trees")
+		}
+		ts, err := treestore.Open(tdir, topt)
+		if err != nil {
+			for _, prev := range ix.shards[:i] {
+				prev.ts.Close()
+				prev.ts = nil
+			}
+			return fmt.Errorf("dvicl: shard %d tree store: %w", i, err)
+		}
+		sh.ts = ts
+	}
+	ix.hasTreeCols = true
+	ix.tsPersist = make(chan tsPersistReq, tsQueueLen)
+	for w := 0; w < tsWorkers; w++ {
+		ix.tsWorkerWG.Add(1)
+		go ix.persistWorker()
+	}
+	return nil
+}
+
+// persistWorker drains the write-behind queue. Persist failures are
+// swallowed: the treestore has cache semantics, so a failed persist only
+// costs a rebuild on the first query for that class.
+func (ix *GraphIndex) persistWorker() {
+	defer ix.tsWorkerWG.Done()
+	for req := range ix.tsPersist {
+		_ = req.ts.Ensure(context.Background(), []byte(req.cert))
+		ix.tsPending.Done()
 	}
 }
 
@@ -210,7 +331,8 @@ func OpenGraphIndex(dir string, opt IndexOptions) (*GraphIndex, error) {
 		if legacyIndexFiles(dir) {
 			nShards = 1
 		} else if nShards > 1 {
-			if err := store.WriteManifest(dir, store.Manifest{Version: store.Version, Shards: nShards}); err != nil {
+			m := store.Manifest{Version: store.Version, Shards: nShards, TreeStore: opt.TreeStore != nil}
+			if err := store.WriteManifest(dir, m); err != nil {
 				return nil, err
 			}
 		}
@@ -223,6 +345,7 @@ func OpenGraphIndex(dir string, opt IndexOptions) (*GraphIndex, error) {
 		opt:          opt.DviCL,
 		persistent:   true,
 		compactEvery: opt.CompactEvery,
+		dataDir:      dir,
 	}
 	if ix.compactEvery == 0 {
 		ix.compactEvery = defaultCompactEvery
@@ -255,6 +378,14 @@ func OpenGraphIndex(dir string, opt IndexOptions) (*GraphIndex, error) {
 		ix.snapshotCerts += res.SnapshotCerts
 		ix.replayedAtOpen += res.WALReplayed
 		ix.recoveredBytes += res.TornBytes
+	}
+	if opt.TreeStore != nil {
+		if err := ix.initTreeStores(dir, *opt.TreeStore); err != nil {
+			for _, sh := range ix.shards {
+				sh.st.Close()
+			}
+			return nil, err
+		}
 	}
 	ix.opt.Obs.Add(obs.WALReplayed, int64(ix.replayedAtOpen))
 	return ix, nil
@@ -356,6 +487,20 @@ func (ix *GraphIndex) addCert(cert string, rec *obs.Recorder) (id int, duplicate
 	sh.certs = append(sh.certs, cert)
 	members := sh.classes[cert]
 	sh.classes[cert] = append(members, local)
+	if sh.ts != nil && len(members) == 0 {
+		// First member of a new class: write-behind persist its AutoTree.
+		// Enqueued under the shard lock — Close marks every shard closed
+		// under the same locks before draining, so no enqueue races the
+		// channel close. A full queue drops the persist (cache semantics:
+		// the first query for the class rebuilds it).
+		ix.tsPending.Add(1)
+		select {
+		case ix.tsPersist <- tsPersistReq{ts: sh.ts, cert: cert}:
+		default:
+			ix.tsPending.Done()
+			rec.Inc(obs.TreeStorePersistDropped)
+		}
+	}
 	needCompact := sh.st != nil && ix.compactEvery > 0 &&
 		sh.st.SinceSnapshot() >= ix.compactEvery
 	sh.mu.Unlock()
@@ -476,11 +621,13 @@ func (ix *GraphIndex) flushShardLocked(sh *indexShard) error {
 	return nil
 }
 
-// Close flushes a final snapshot of every shard and releases the WALs.
-// Further Adds and Flushes return ErrIndexClosed (Close itself is
-// idempotent). A no-op on an ephemeral index.
+// Close flushes a final snapshot of every shard, drains the write-behind
+// tree persists, and releases the WALs and tree stores. Further Adds and
+// Flushes return ErrIndexClosed (Close itself is idempotent). A no-op on
+// an ephemeral index without a tree store; an ephemeral index *with* one
+// must be Closed to stop its persist workers.
 func (ix *GraphIndex) Close() error {
-	if !ix.persistent {
+	if !ix.persistent && !ix.hasTreeCols {
 		return nil
 	}
 	if !ix.closing.CompareAndSwap(false, true) {
@@ -492,19 +639,54 @@ func (ix *GraphIndex) Close() error {
 		sh.mu.Unlock()
 	}
 	ix.bg.Wait() // drain in-flight background compactions
+	if ix.tsPersist != nil {
+		// Shards are closed, so no new enqueues: wait out the queued
+		// persists, then retire the workers. Tree stores must outlive this
+		// drain, hence they close below.
+		ix.tsPending.Wait()
+		close(ix.tsPersist)
+		ix.tsWorkerWG.Wait()
+	}
 
 	var firstErr error
 	for _, sh := range ix.shards {
 		sh.mu.Lock()
-		if err := ix.flushShardLocked(sh); err != nil && firstErr == nil {
-			firstErr = err
+		if sh.ts != nil {
+			if err := sh.ts.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		if err := sh.st.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if sh.st != nil {
+			if err := ix.flushShardLocked(sh); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := sh.st.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 		sh.mu.Unlock()
 	}
 	return firstErr
+}
+
+// Ready reports whether the index can serve and persist: nil when the
+// index is open and — for a durable index — its data directory is still
+// writable (probed with a create+remove round trip). The indexd /readyz
+// endpoint is a thin wrapper around it.
+func (ix *GraphIndex) Ready() error {
+	if ix.closing.Load() {
+		return ErrIndexClosed
+	}
+	if !ix.persistent {
+		return nil
+	}
+	probe, err := os.CreateTemp(ix.dataDir, ".readyz-*")
+	if err != nil {
+		return fmt.Errorf("dvicl: index dir not writable: %w", err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // IndexStats is a point-in-time summary of a GraphIndex, serialized by
@@ -536,6 +718,11 @@ type IndexStats struct {
 	SnapshotCerts   int   `json:"snapshot_certs"`
 	ReplayedRecords int   `json:"replayed_records"`
 	RecoveredBytes  int64 `json:"recovered_bytes"`
+
+	// TreeStore, present when the index serves symmetry queries from an
+	// AutoTree store, aggregates the decoded-tree caches across shards
+	// (Entries/Bytes summed, MemBudget is the index-wide total).
+	TreeStore *TreeStoreStats `json:"tree_store,omitempty"`
 }
 
 // Stats returns current index statistics. Shard counters are read one
@@ -561,6 +748,20 @@ func (ix *GraphIndex) Stats() IndexStats {
 		sh.mu.RUnlock()
 	}
 	s.Duplicates = s.Graphs - s.Classes
+	if ix.hasTreeCols {
+		agg := &TreeStoreStats{}
+		for _, sh := range ix.shards {
+			if sh.ts == nil {
+				continue
+			}
+			ts := sh.ts.Stats()
+			agg.Entries += ts.Entries
+			agg.Bytes += ts.Bytes
+			agg.MemBudget += ts.MemBudget
+			agg.Persistent = agg.Persistent || ts.Persistent
+		}
+		s.TreeStore = agg
+	}
 	if ix.cache != nil {
 		s.CacheEntries = ix.cache.len()
 		s.CacheHits = ix.cache.hits.Load()

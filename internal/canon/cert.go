@@ -1,0 +1,72 @@
+package canon
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dvicl/internal/graph"
+)
+
+// maxCertN bounds the vertex count a certificate may declare; a header
+// beyond it is treated as corruption rather than attempted as an
+// allocation.
+const maxCertN = 1 << 31
+
+// DecodeCertificate inverts EncodeCertificate: it reconstructs the
+// canonical graph G^γ and the root cell sizes from a certificate's
+// bytes. The certificate is a complete description of the canonical
+// form — n, the root partition cell sizes, and the sorted γ-image edge
+// list — so the decoded graph satisfies
+//
+//	EncodeCertificate(DecodeCertificate(cert), identity, cells) == cert.
+//
+// That round trip is what lets the serving layer treat a certificate as
+// a rebuildable key: an AutoTree lost to a crash or cache eviction is
+// recomputed from the certificate alone, deterministically, with no
+// access to the originally indexed graph.
+func DecodeCertificate(cert []byte) (*graph.Graph, []int, error) {
+	bad := func(format string, args ...any) (*graph.Graph, []int, error) {
+		return nil, nil, fmt.Errorf("canon: corrupt certificate: "+format, args...)
+	}
+	if len(cert) < 16 || len(cert)%8 != 0 {
+		return bad("length %d not a multiple of 8 with a 16-byte header", len(cert))
+	}
+	n := binary.BigEndian.Uint64(cert[0:8])
+	nCells := binary.BigEndian.Uint64(cert[8:16])
+	if n > maxCertN || nCells > n {
+		return bad("n=%d cells=%d implausible", n, nCells)
+	}
+	body := cert[16:]
+	if uint64(len(body))/8 < nCells {
+		return bad("truncated cell-size table")
+	}
+	cells := make([]int, nCells)
+	sum := uint64(0)
+	for i := range cells {
+		sz := binary.BigEndian.Uint64(body[8*i:])
+		sum += sz
+		if sz == 0 || sum > n {
+			return bad("cell sizes sum past n=%d", n)
+		}
+		cells[i] = int(sz)
+	}
+	if sum != n {
+		return bad("cell sizes sum to %d, want n=%d", sum, n)
+	}
+	edges := body[8*nCells:]
+	b := graph.NewBuilder(int(n))
+	prev := uint64(0)
+	for i := 0; i < len(edges); i += 8 {
+		e := binary.BigEndian.Uint64(edges[i:])
+		if i > 0 && e <= prev {
+			return bad("edge list not strictly increasing")
+		}
+		prev = e
+		u, v := e>>32, e&0xffffffff
+		if u >= n || v >= n || u >= v {
+			return bad("edge (%d,%d) out of range for n=%d", u, v, n)
+		}
+		b.AddEdge(int(u), int(v))
+	}
+	return b.Build(), cells, nil
+}

@@ -1,0 +1,87 @@
+package canon
+
+import (
+	"bytes"
+	"testing"
+
+	"dvicl/internal/gen"
+	"dvicl/internal/graph"
+	"dvicl/internal/perm"
+)
+
+func certTestGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	pg, err := gen.PG2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"empty":  graph.NewBuilder(0).Build(),
+		"edge":   mustGraph(2, [][2]int{{0, 1}}),
+		"cycle6": gen.CircularLadder(3),
+		"cfi":    gen.CFI(gen.RigidCubic(8, 7), false),
+		"grid":   gen.GridW(2, 4),
+		"pg2-3":  pg,
+	}
+}
+
+func mustGraph(n int, edges [][2]int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// TestDecodeCertificateRoundTrip pins the invariant the treestore's
+// rebuild-on-miss path depends on: a certificate fully describes its
+// canonical graph, and re-encoding the decoded graph under the identity
+// labeling reproduces the certificate byte for byte.
+func TestDecodeCertificateRoundTrip(t *testing.T) {
+	for name, g := range certTestGraphs(t) {
+		cert := Canonical(g, nil, Options{}).Cert
+		dg, cells, err := DecodeCertificate(cert)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if dg.N() != g.N() || dg.M() != g.M() {
+			t.Fatalf("%s: decoded n=%d m=%d, want n=%d m=%d", name, dg.N(), dg.M(), g.N(), g.M())
+		}
+		re := EncodeCertificate(dg, perm.Identity(dg.N()), cells)
+		if !bytes.Equal(re, cert) {
+			t.Fatalf("%s: re-encode of decoded graph differs from original certificate", name)
+		}
+		// The decoded graph is a member of the isomorphism class, so its
+		// own canonical certificate must be the same bytes.
+		if again := Canonical(dg, nil, Options{}).Cert; !bytes.Equal(again, cert) {
+			t.Fatalf("%s: canonical cert of decoded graph differs", name)
+		}
+	}
+}
+
+func TestDecodeCertificateRejectsCorruption(t *testing.T) {
+	cert := Canonical(gen.GridW(2, 4), nil, Options{}).Cert
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short":          cert[:8],
+		"ragged":         cert[:len(cert)-3],
+		"truncated-tail": cert[:len(cert)-8+1],
+	}
+	for i := range cert {
+		// A single flipped byte must either decode to a different (still
+		// valid) graph or fail — it must never panic. Bytes in the sorted
+		// edge list usually break monotonicity or range checks.
+		mut := append([]byte(nil), cert...)
+		mut[i] ^= 0xff
+		if dg, cells, err := DecodeCertificate(mut); err == nil {
+			if re := EncodeCertificate(dg, perm.Identity(dg.N()), cells); !bytes.Equal(re, mut) {
+				t.Fatalf("flip@%d: decode accepted bytes it cannot re-encode", i)
+			}
+		}
+	}
+	for name, c := range cases {
+		if _, _, err := DecodeCertificate(c); err == nil {
+			t.Fatalf("%s: corrupt certificate accepted", name)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"dvicl/internal/graph"
 	"dvicl/internal/perm"
+	"dvicl/internal/store"
 )
 
 // AutoTree serialization: the tree is an index (the paper's term), so a
@@ -15,8 +16,19 @@ import (
 // The format is a simple length-prefixed binary encoding, independent of
 // host byte order; the graph itself is not stored — the caller supplies
 // the same graph at load time (checked via vertex/edge counts).
+//
+// Load failures use the typed error set of internal/store — ErrBadMagic,
+// *VersionError, ErrTruncated, ErrChecksum — so callers (the treestore's
+// corruption fallback in particular) can distinguish a torn file from
+// version skew from structural corruption with errors.Is / errors.As.
 
-const treeMagic = uint64(0x4456_4943_4c41_5401) // "DVICLAT" + version 1
+// treeMagicPrefix identifies an AutoTree file; the byte after it is the
+// format version.
+const (
+	treeMagicPrefix = "DVICLAT"
+	treeVersion     = 1
+	treeMagic       = uint64(0x4456_4943_4c41_5400 | treeVersion) // "DVICLAT" + version
+)
 
 type treeWriter struct {
 	w   *bufio.Writer
@@ -117,8 +129,21 @@ func (tr *treeReader) u64() uint64 {
 		return 0
 	}
 	var buf [8]byte
-	_, tr.err = io.ReadFull(tr.r, buf[:])
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		tr.err = truncated(err)
+		return 0
+	}
 	return binary.BigEndian.Uint64(buf[:])
+}
+
+// truncated maps an io read failure onto the typed store error set: a
+// stream that ends mid-field is store.ErrTruncated (a torn file), any
+// other failure passes through.
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("core: corrupt tree: %w", store.ErrTruncated)
+	}
+	return err
 }
 
 func (tr *treeReader) num() int { return int(int64(tr.u64())) }
@@ -157,8 +182,10 @@ func (tr *treeReader) bytes() []byte {
 		if chunk > len(buf) {
 			chunk = len(buf)
 		}
-		var k int
-		k, tr.err = io.ReadFull(tr.r, buf[:chunk])
+		k, err := io.ReadFull(tr.r, buf[:chunk])
+		if err != nil {
+			tr.err = truncated(err)
+		}
 		out = append(out, buf[:k]...)
 	}
 	return out
@@ -173,7 +200,7 @@ func min(a, b int) int {
 
 func (tr *treeReader) fail(msg string) {
 	if tr.err == nil {
-		tr.err = fmt.Errorf("core: corrupt tree: %s", msg)
+		tr.err = fmt.Errorf("core: corrupt tree: %s: %w", msg, store.ErrChecksum)
 	}
 }
 
@@ -181,20 +208,27 @@ func (tr *treeReader) fail(msg string) {
 // the same graph the tree was built from).
 func Load(r io.Reader, g *graph.Graph) (*Tree, error) {
 	tr := &treeReader{r: bufio.NewReader(r)}
-	if tr.u64() != treeMagic {
-		return nil, fmt.Errorf("core: not an AutoTree file (bad magic)")
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		return nil, truncated(err)
+	}
+	if string(hdr[:7]) != treeMagicPrefix {
+		return nil, fmt.Errorf("core: not an AutoTree file: %w", store.ErrBadMagic)
+	}
+	if hdr[7] != treeVersion {
+		return nil, &store.VersionError{File: "autotree", Got: uint16(hdr[7]), Want: treeVersion}
 	}
 	n := tr.num()
 	m := tr.num()
 	if tr.err == nil && (n != g.N() || m != g.M()) {
-		return nil, fmt.Errorf("core: tree was built for a graph with n=%d m=%d, got n=%d m=%d",
-			n, m, g.N(), g.M())
+		return nil, fmt.Errorf("core: tree was built for a graph with n=%d m=%d, got n=%d m=%d: %w",
+			n, m, g.N(), g.M(), store.ErrChecksum)
 	}
 	t := &Tree{g: g, leafOf: make([]int, g.N())}
 	t.colors = tr.ints()
 	gamma := tr.ints()
 	if tr.err == nil && len(gamma) != g.N() {
-		return nil, fmt.Errorf("core: corrupt tree: Gamma length %d, want %d", len(gamma), g.N())
+		return nil, fmt.Errorf("core: corrupt tree: Gamma length %d, want %d: %w", len(gamma), g.N(), store.ErrChecksum)
 	}
 	t.Gamma = perm.Perm(gamma)
 	t.Truncated = tr.num() == 1

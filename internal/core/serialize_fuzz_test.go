@@ -2,7 +2,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"math/rand"
 	"testing"
+
+	"dvicl/internal/store"
 )
 
 // FuzzLoad: corrupt tree files must produce errors, never panics, and a
@@ -26,5 +30,63 @@ func FuzzLoad(f *testing.F) {
 		// Anything that loads must at least pass leaf indexing; Verify
 		// may legitimately reject semantic corruption.
 		_ = loaded.Stats()
+	})
+}
+
+// typedLoadError reports whether err belongs to the typed corruption set
+// shared with internal/store — the contract the treestore's corruption
+// fallback matches on.
+func typedLoadError(err error) bool {
+	var ve *store.VersionError
+	return errors.Is(err, store.ErrTruncated) ||
+		errors.Is(err, store.ErrChecksum) ||
+		errors.Is(err, store.ErrBadMagic) ||
+		errors.As(err, &ve)
+}
+
+// FuzzTreeSaveLoad drives the full Save→corrupt→Load cycle on random
+// trees: an intact stream must round-trip the certificate; a truncated
+// or bit-flipped stream must either be caught with a typed error or
+// decode to *some* loadable tree — and must never panic or return an
+// ad-hoc untyped failure.
+func FuzzTreeSaveLoad(f *testing.F) {
+	f.Add(int64(1), uint(40), uint8(0x01))
+	f.Add(int64(7), uint(3), uint8(0x80))
+	f.Add(int64(42), uint(9999), uint8(0xff))
+	f.Fuzz(func(t *testing.T, seed int64, pos uint, mask uint8) {
+		r := rand.New(rand.NewSource(seed))
+		g := randGraph(r, 2+r.Intn(18), 2)
+		tree := Build(g, nil, Options{})
+		var buf bytes.Buffer
+		if err := tree.Save(&buf); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		data := buf.Bytes()
+
+		loaded, err := Load(bytes.NewReader(data), g)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if !bytes.Equal(loaded.CanonicalCert(), tree.CanonicalCert()) {
+			t.Fatal("certificate changed across save/load")
+		}
+
+		// Truncation at any offset is a torn file: typed error, never a
+		// partial tree and never a panic.
+		cut := int(pos % uint(len(data)))
+		if _, err := Load(bytes.NewReader(data[:cut]), g); err == nil {
+			t.Fatalf("truncated stream (cut=%d) accepted", cut)
+		} else if !typedLoadError(err) {
+			t.Fatalf("truncated stream (cut=%d): untyped error %v", cut, err)
+		}
+
+		// A bit flip may land in a don't-care byte (and still decode) or
+		// corrupt structure (typed error) — either way, no panic, no
+		// untyped error.
+		mut := append([]byte(nil), data...)
+		mut[cut] ^= mask | 1
+		if _, err := Load(bytes.NewReader(mut), g); err != nil && !typedLoadError(err) {
+			t.Fatalf("bit flip at %d: untyped error %v", cut, err)
+		}
 	})
 }

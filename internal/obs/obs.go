@@ -72,6 +72,21 @@ const (
 	BulkDecodeErrors  // bulk records rejected by the decoder
 	IndexCanceled     // builds aborted by request-context cancellation
 
+	// internal/treestore — the persistent AutoTree store.
+	TreeStoreMemHits        // queries answered from the decoded-tree LRU
+	TreeStoreDiskHits       // queries answered by loading a persisted record
+	TreeRebuilds            // trees recomputed from the certificate (cold or corrupt)
+	TreeStorePuts           // tree records written to disk
+	TreeStoreCorrupt        // persisted records rejected (checksum/format) and recomputed
+	TreeStoreEvictions      // decoded trees evicted by the memory budget
+	TreeStorePersistDropped // write-behind persists dropped by a full queue
+
+	// GraphIndex + cmd/indexd — the symmetry-query serving layer.
+	SymmetryQueryOrbits   // orbit queries answered
+	SymmetryQueryAutGroup // automorphism-group queries answered
+	SymmetryQueryQuotient // quotient-graph queries answered
+	SymmetryQuerySSM      // SSM-AT queries answered
+
 	numCounters
 )
 
@@ -110,6 +125,18 @@ var counterNames = [numCounters]string{
 	BulkRecords:        "bulk_records",
 	BulkDecodeErrors:   "bulk_decode_errors",
 	IndexCanceled:      "index_canceled",
+
+	TreeStoreMemHits:        "treestore_mem_hits",
+	TreeStoreDiskHits:       "treestore_disk_hits",
+	TreeRebuilds:            "tree_rebuilds",
+	TreeStorePuts:           "treestore_puts",
+	TreeStoreCorrupt:        "treestore_corrupt",
+	TreeStoreEvictions:      "treestore_evictions",
+	TreeStorePersistDropped: "treestore_persist_dropped",
+	SymmetryQueryOrbits:     "symmetry_query_orbits",
+	SymmetryQueryAutGroup:   "symmetry_query_autgroup",
+	SymmetryQueryQuotient:   "symmetry_query_quotient",
+	SymmetryQuerySSM:        "symmetry_query_ssm",
 }
 
 // String returns the counter's snake_case metric name.
@@ -143,24 +170,32 @@ const (
 	PhaseHTTP        // one HTTP request, end to end
 	PhaseBulkIngest  // one bulk-ingest pipeline run (stream → shards)
 
+	// internal/treestore + symmetry-query serving.
+	PhaseTreeLoad      // one persisted-tree read + decode
+	PhaseTreePersist   // one tree record encode + write
+	PhaseSymmetryQuery // one orbits/autgroup/quotient/SSM query, end to end
+
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	PhaseBuild:       "build",
-	PhaseRefine:      "refine",
-	PhaseTwins:       "twins",
-	PhaseDivideI:     "divide_i",
-	PhaseDivideS:     "divide_s",
-	PhaseCombineCL:   "combine_cl",
-	PhaseCombineST:   "combine_st",
-	PhaseSSMQuery:    "ssm_query",
-	PhaseIndexAdd:    "index_add",
-	PhaseIndexLookup: "index_lookup",
-	PhaseWALAppend:   "wal_append",
-	PhaseSnapshot:    "snapshot",
-	PhaseHTTP:        "http_request",
-	PhaseBulkIngest:  "bulk_ingest",
+	PhaseBuild:         "build",
+	PhaseRefine:        "refine",
+	PhaseTwins:         "twins",
+	PhaseDivideI:       "divide_i",
+	PhaseDivideS:       "divide_s",
+	PhaseCombineCL:     "combine_cl",
+	PhaseCombineST:     "combine_st",
+	PhaseSSMQuery:      "ssm_query",
+	PhaseIndexAdd:      "index_add",
+	PhaseIndexLookup:   "index_lookup",
+	PhaseWALAppend:     "wal_append",
+	PhaseSnapshot:      "snapshot",
+	PhaseHTTP:          "http_request",
+	PhaseBulkIngest:    "bulk_ingest",
+	PhaseTreeLoad:      "treestore_load",
+	PhaseTreePersist:   "treestore_persist",
+	PhaseSymmetryQuery: "symmetry_query",
 }
 
 // String returns the phase's snake_case metric name.

@@ -78,6 +78,19 @@ var counterHelp = [numCounters]string{
 	BulkRecords:        "Records read from bulk-ingest streams.",
 	BulkDecodeErrors:   "Bulk records rejected by the decoder.",
 	IndexCanceled:      "Builds aborted by request-context cancellation.",
+
+	TreeStoreMemHits:        "Tree-store gets served from the decoded-tree memory cache.",
+	TreeStoreDiskHits:       "Tree-store gets served by decoding an on-disk record.",
+	TreeRebuilds:            "AutoTrees rebuilt from their certificate (store miss or corruption).",
+	TreeStorePuts:           "AutoTree records persisted to disk.",
+	TreeStoreCorrupt:        "Tree records dropped as corrupt (typed decode failure).",
+	TreeStoreEvictions:      "Decoded trees evicted by the memory budget.",
+	TreeStorePersistDropped: "Write-behind persists dropped by a full queue.",
+
+	SymmetryQueryOrbits:   "Orbit-partition queries answered.",
+	SymmetryQueryAutGroup: "Automorphism-group queries answered.",
+	SymmetryQueryQuotient: "Orbit-quotient queries answered.",
+	SymmetryQuerySSM:      "Symmetric-subgraph-matching queries answered.",
 }
 
 // WriteProm renders the snapshot and gauges in the Prometheus text

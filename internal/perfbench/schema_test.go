@@ -220,7 +220,7 @@ func TestStableCountersDropsVarying(t *testing.T) {
 
 func TestScenarioNames(t *testing.T) {
 	names := ScenarioNames()
-	want := []string{"cfi", "grid-w", "had", "mz-aug", "pg2", "social-ingest"}
+	want := []string{"cfi", "grid-w", "had", "mz-aug", "pg2", "social-ingest", "symq"}
 	if len(names) != len(want) {
 		t.Fatalf("suite = %v, want %v", names, want)
 	}

@@ -17,6 +17,7 @@ import (
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
 	"dvicl/internal/pipeline"
+	"dvicl/internal/treestore"
 )
 
 // Options configures one suite run.
@@ -119,6 +120,7 @@ func suite() []spec {
 			return gen.PG2(q)
 		}),
 		socialIngestSpec(),
+		symqSpec(),
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].name < specs[j].name })
 	return specs
@@ -175,6 +177,81 @@ func socialIngestSpec() spec {
 					return fmt.Errorf("perfbench: social-ingest applied %d of %d", report.Applied, count)
 				}
 				return nil
+			}, nil
+		},
+	}
+}
+
+// symqSpec measures the symmetry-query serving path end to end on a
+// family of social-graph stand-ins: a cold pass (every Get rebuilds the
+// AutoTree from its certificate and persists it), a warm pass (three
+// query rounds served from the decoded-tree memory cache), and a
+// restart pass (reopen the store, every Get decodes from disk). Each rep
+// uses its own fresh directory, so the treestore counters — rebuilds,
+// mem hits, disk hits, puts — are exact and identical across reps.
+func symqSpec() spec {
+	return spec{
+		name:     "symq",
+		paperRef: "Symmetry-query serving: warm cache vs rebuild-on-miss (AutoTree store)",
+		setup: func(quick bool) (func(rec *obs.Recorder) error, error) {
+			count, n, m := 16, 400, 1400
+			if quick {
+				count, n, m = 6, 150, 500
+			}
+			certs := make([][]byte, count)
+			for i := range certs {
+				g := gen.Social(gen.SocialConfig{
+					Name: "perfbench-symq", N: n, M: m,
+					TwinFrac: 0.12, PendantFrac: 0.18,
+					Seed: int64(7000 + i),
+				})
+				certs[i] = core.Build(g, nil, core.Options{}).CanonicalCert()
+			}
+			ctx := context.Background()
+			return func(rec *obs.Recorder) error {
+				dir, err := os.MkdirTemp("", "perfbench-symq-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(dir)
+				query := func(ts *treestore.Store) error {
+					for _, cert := range certs {
+						tree, err := ts.Get(ctx, cert)
+						if err != nil {
+							return err
+						}
+						if len(tree.Orbits()) == 0 || tree.AutOrder().Sign() <= 0 {
+							return fmt.Errorf("perfbench: symq: degenerate answer")
+						}
+					}
+					return nil
+				}
+				// Cold: every Get is a rebuild-on-miss plus a persist.
+				ts, err := treestore.Open(dir, treestore.Options{Obs: rec})
+				if err != nil {
+					return err
+				}
+				if err := query(ts); err != nil {
+					return err
+				}
+				// Warm: three rounds from the decoded-tree cache.
+				for round := 0; round < 3; round++ {
+					if err := query(ts); err != nil {
+						return err
+					}
+				}
+				if err := ts.Close(); err != nil {
+					return err
+				}
+				// Restart: a reopened store serves every tree from disk.
+				ts, err = treestore.Open(dir, treestore.Options{Obs: rec})
+				if err != nil {
+					return err
+				}
+				if err := query(ts); err != nil {
+					return err
+				}
+				return ts.Close()
 			}, nil
 		},
 	}

@@ -30,10 +30,15 @@ const ManifestName = "index.manifest"
 // manifest is treated as corrupt rather than obeyed.
 const MaxShards = 4096
 
-// Manifest describes a sharded index root.
+// Manifest describes a sharded index root. TreeStore records that the
+// index was created with an AutoTree store (a trees/ subdirectory per
+// shard); it is informational — the layout is self-describing, and the
+// field is optional so pre-treestore manifests stay readable and older
+// builds ignore it.
 type Manifest struct {
-	Version uint16 `json:"version"`
-	Shards  int    `json:"shards"`
+	Version   uint16 `json:"version"`
+	Shards    int    `json:"shards"`
+	TreeStore bool   `json:"tree_store,omitempty"`
 }
 
 // ShardDir returns the subdirectory name of shard i ("shard-007").

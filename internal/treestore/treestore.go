@@ -1,0 +1,475 @@
+// Package treestore persists and serves AutoTrees keyed by canonical
+// certificate — the storage layer that turns the paper's "the AutoTree
+// is an index" claim into a serving subsystem: once a graph's tree is
+// built, orbit / automorphism-group / SSM queries are answered from the
+// stored tree without re-running canonical labeling.
+//
+// The store is content-addressed: the key is the certificate itself
+// (hashed to a filename), and the certificate is decodable back into
+// the canonical graph (canon.DecodeCertificate), so a record holds only
+// the serialized tree — a cold or corrupt entry is rebuilt from the
+// certificate alone, deterministically, with no access to the original
+// graph. That gives the store cache semantics end to end: every failure
+// mode degrades to a recompute, never to a query error.
+//
+// Layout of a store directory:
+//
+//	<dir>/ab/<sha256-of-cert-hex>.tree
+//
+// Each record is a CRC32-checksummed frame (magic "DVTS", version,
+// length, core.Tree.Save payload, trailing CRC32-IEEE) written via
+// temp-file + fsync + atomic rename, following the internal/store
+// conventions; load failures surface the same typed error set
+// (store.ErrBadMagic, *store.VersionError, store.ErrTruncated,
+// store.ErrChecksum) before the fallback rebuild swallows them into the
+// treestore_corrupt counter.
+//
+// Decoded trees are held in a byte-budgeted LRU (cost = encoded record
+// payload size, a stable proxy for the decoded footprint), and
+// concurrent misses on one certificate are collapsed by a single-flight
+// table so a thundering herd performs one rebuild. Rebuilds honor the
+// configured engine.Budget and record into an obs.Trace when the
+// context carries one.
+package treestore
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dvicl/internal/canon"
+	"dvicl/internal/core"
+	"dvicl/internal/engine"
+	"dvicl/internal/graph"
+	"dvicl/internal/obs"
+	"dvicl/internal/store"
+)
+
+// ErrClosed is returned by operations on a Store after Close.
+var ErrClosed = errors.New("treestore: closed")
+
+// DefaultMemBudget is the decoded-tree LRU budget when Options.MemBudget
+// is zero.
+const DefaultMemBudget = 256 << 20
+
+// Record format constants (little-endian, internal/store conventions).
+const (
+	recMagic   = "DVTS"
+	recVersion = uint16(1)
+	recHdrLen  = 12 // magic(4) + version(2) + reserved(2) + payload len(4)
+	// maxPayload caps a record's declared payload size; a length field
+	// beyond it is treated as corruption rather than attempted as an
+	// allocation.
+	maxPayload = 1 << 30
+)
+
+// Options configures a Store.
+type Options struct {
+	// MemBudget bounds the in-memory LRU of decoded trees, in bytes of
+	// encoded record size. 0 means DefaultMemBudget; negative disables
+	// the memory cache entirely (every Get goes to disk or rebuilds).
+	MemBudget int64
+	// Build configures rebuild-on-miss DviCL builds. It must match the
+	// options used to produce the certificates being queried (the
+	// GraphIndex wires its own DviCL options through), and its Budget
+	// bounds each rebuild. Build.Obs defaults to Obs when nil.
+	Build core.Options
+	// Obs receives the treestore_* counters and treestore_load/persist
+	// phases (nil is a valid no-op recorder). When a Get context carries
+	// an obs.Trace, that trace's forwarding recorder is used instead, so
+	// per-request deltas are attributed without losing global totals.
+	Obs *obs.Recorder
+}
+
+// Store is a content-addressed AutoTree store: persistent when opened
+// with a directory, memory-only when opened with an empty one. Safe for
+// concurrent use.
+type Store struct {
+	dir string // "" = memory-only
+	opt Options
+
+	mu      sync.Mutex
+	entries map[[32]byte]*list.Element
+	order   *list.List // front = most recently used
+	bytes   int64
+	flight  map[[32]byte]*flightCall
+	closed  bool
+}
+
+type lruEntry struct {
+	key  [32]byte
+	tree *core.Tree
+	size int64
+}
+
+// flightCall collapses concurrent misses on one certificate: the first
+// caller loads or rebuilds, everyone else waits on done.
+type flightCall struct {
+	done chan struct{}
+	tree *core.Tree
+	err  error
+}
+
+// Open opens (creating if needed) a tree store rooted at dir. An empty
+// dir yields a memory-only store: same API, no persistence — every
+// eviction or restart costs a rebuild.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	if opt.MemBudget == 0 {
+		opt.MemBudget = DefaultMemBudget
+	}
+	if opt.Build.Obs == nil {
+		opt.Build.Obs = opt.Obs
+	}
+	return &Store{
+		dir:     dir,
+		opt:     opt,
+		entries: make(map[[32]byte]*list.Element),
+		order:   list.New(),
+		flight:  make(map[[32]byte]*flightCall),
+	}, nil
+}
+
+// recorderFor resolves the recorder for one operation: the context
+// trace's forwarding recorder when present, the store's own otherwise.
+func (s *Store) recorderFor(ctx context.Context) *obs.Recorder {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		return tr.Recorder()
+	}
+	return s.opt.Obs
+}
+
+// Get returns the AutoTree of the canonical graph the certificate
+// describes, from the first level that has it: the decoded-tree LRU,
+// the on-disk record, or a fresh DviCL rebuild (which is then persisted
+// and cached). Corrupt records are counted, deleted and rebuilt — a Get
+// fails only on cancellation, budget exhaustion, or an undecodable
+// certificate. The returned tree is shared and must be treated as
+// read-only; its automorphism-group order is precomputed, so Orbits,
+// AutOrder, Quotient and fresh ssm.Index queries on it are safe
+// concurrently.
+func (s *Store) Get(ctx context.Context, cert []byte) (*core.Tree, error) {
+	rec := s.recorderFor(ctx)
+	key := sha256.Sum256(cert)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		rec.Inc(obs.TreeStoreMemHits)
+		return el.Value.(*lruEntry).tree, nil
+	}
+	if fc, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-fc.done:
+			if fc.err == nil {
+				rec.Inc(obs.TreeStoreMemHits)
+			}
+			return fc.tree, fc.err
+		case <-ctx.Done():
+			return nil, engine.ErrCanceled
+		}
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	s.flight[key] = fc
+	s.mu.Unlock()
+
+	tree, size, err := s.loadOrRebuild(ctx, rec, key, cert)
+	fc.tree, fc.err = tree, err
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil && !s.closed && s.opt.MemBudget > 0 {
+		s.insertLocked(key, tree, size, rec)
+	}
+	s.mu.Unlock()
+	close(fc.done)
+	return tree, err
+}
+
+// Ensure makes the certificate's tree resident (memory and, when the
+// store is persistent, disk) — the write-behind entry point GraphIndex
+// uses after an Add. It is Get with the result discarded.
+func (s *Store) Ensure(ctx context.Context, cert []byte) error {
+	_, err := s.Get(ctx, cert)
+	return err
+}
+
+// loadOrRebuild is the miss path, run by exactly one flight leader per
+// certificate: disk first, then a budgeted DviCL rebuild from the
+// decoded certificate. It returns the tree and its encoded size (the
+// LRU cost).
+func (s *Store) loadOrRebuild(ctx context.Context, rec *obs.Recorder, key [32]byte, cert []byte) (*core.Tree, int64, error) {
+	g, _, err := canon.DecodeCertificate(cert)
+	if err != nil {
+		// The certificate itself is bad — there is nothing to rebuild
+		// from. This never happens for certs produced by this module.
+		return nil, 0, err
+	}
+
+	if s.dir != "" {
+		if tree, size, ok := s.loadDisk(rec, key, g); ok {
+			return tree, size, nil
+		}
+	}
+
+	rec.Inc(obs.TreeRebuilds)
+	tree, err := core.BuildCtx(ctx, g, nil, s.buildOpts(rec))
+	if err != nil {
+		return nil, 0, err
+	}
+	warm(tree)
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		return nil, 0, engine.Internalf("treestore", "encode rebuilt tree: %v", err)
+	}
+	if s.dir != "" {
+		span := rec.StartPhase(obs.PhaseTreePersist)
+		perr := s.writeRecord(key, buf.Bytes())
+		span.End()
+		if perr == nil {
+			rec.Inc(obs.TreeStorePuts)
+		}
+		// A failed persist is not a query failure: the tree is good, the
+		// next cold Get just rebuilds again.
+	}
+	return tree, int64(buf.Len()), nil
+}
+
+// loadDisk tries the persisted record. ok is false on any failure:
+// missing file is a plain miss; a corrupt or unreadable record is
+// counted, removed, and degraded to a miss.
+func (s *Store) loadDisk(rec *obs.Recorder, key [32]byte, g *graph.Graph) (*core.Tree, int64, bool) {
+	path := s.pathOf(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			rec.Inc(obs.TreeStoreCorrupt)
+			_ = os.Remove(path)
+		}
+		return nil, 0, false
+	}
+	span := rec.StartPhase(obs.PhaseTreeLoad)
+	payload, derr := decodeRecord(data)
+	var tree *core.Tree
+	if derr == nil {
+		tree, derr = core.Load(bytes.NewReader(payload), g)
+	}
+	span.End()
+	if derr != nil {
+		rec.Inc(obs.TreeStoreCorrupt)
+		_ = os.Remove(path)
+		return nil, 0, false
+	}
+	warm(tree)
+	rec.Inc(obs.TreeStoreDiskHits)
+	return tree, int64(len(payload)), true
+}
+
+// buildOpts is the rebuild configuration with the per-operation recorder
+// substituted in (BuildCtx itself swaps in a trace recorder when the
+// context carries one).
+func (s *Store) buildOpts(rec *obs.Recorder) core.Options {
+	opt := s.opt.Build
+	opt.Obs = rec
+	return opt
+}
+
+// warm precomputes the tree's lazily memoized state (the per-node
+// automorphism-group orders) before the tree is shared, so concurrent
+// readers never race on the memo.
+func warm(t *core.Tree) {
+	t.AutOrder()
+}
+
+// Rebuild is the store's miss path as a standalone function: decode the
+// certificate and build its AutoTree under opt. Callers serving
+// symmetry queries without a treestore (the degraded path) use it; the
+// rebuild is counted on opt.Obs or the context trace.
+func Rebuild(ctx context.Context, cert []byte, opt core.Options) (*core.Tree, error) {
+	rec := opt.Obs
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		rec = tr.Recorder()
+	}
+	g, _, err := canon.DecodeCertificate(cert)
+	if err != nil {
+		return nil, err
+	}
+	rec.Inc(obs.TreeRebuilds)
+	opt.Obs = rec
+	tree, err := core.BuildCtx(ctx, g, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	warm(tree)
+	return tree, nil
+}
+
+// insertLocked caches a decoded tree and evicts from the cold end until
+// the budget holds (always keeping the newest entry, so one oversized
+// tree does not render the cache useless by thrashing).
+func (s *Store) insertLocked(key [32]byte, tree *core.Tree, size int64, rec *obs.Recorder) {
+	if _, ok := s.entries[key]; ok {
+		return // a racing leader already cached it
+	}
+	s.entries[key] = s.order.PushFront(&lruEntry{key: key, tree: tree, size: size})
+	s.bytes += size
+	for s.bytes > s.opt.MemBudget && s.order.Len() > 1 {
+		el := s.order.Back()
+		ent := el.Value.(*lruEntry)
+		s.order.Remove(el)
+		delete(s.entries, ent.key)
+		s.bytes -= ent.size
+		rec.Inc(obs.TreeStoreEvictions)
+	}
+}
+
+// Stats is a point-in-time summary of a Store.
+type Stats struct {
+	// Entries and Bytes describe the decoded-tree LRU; MemBudget is its
+	// configured bound.
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MemBudget int64 `json:"mem_budget"`
+	// Persistent reports whether the store is backed by a directory.
+	Persistent bool `json:"persistent"`
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:    len(s.entries),
+		Bytes:      s.bytes,
+		MemBudget:  s.opt.MemBudget,
+		Persistent: s.dir != "",
+	}
+}
+
+// Close empties the cache and fails subsequent operations with
+// ErrClosed. On-disk records are left in place (they are the point).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.entries = make(map[[32]byte]*list.Element)
+	s.order = list.New()
+	s.bytes = 0
+	return nil
+}
+
+// pathOf maps a certificate hash to its record path, fanned out over
+// 256 subdirectories so huge stores do not produce one enormous
+// directory.
+func (s *Store) pathOf(key [32]byte) string {
+	h := hex.EncodeToString(key[:])
+	return filepath.Join(s.dir, h[:2], h+".tree")
+}
+
+// writeRecord frames and durably writes one record via temp file +
+// fsync + atomic rename (a crash never leaves a torn record in place —
+// at worst a stray .tmp file, which loads ignore).
+func (s *Store) writeRecord(key [32]byte, payload []byte) (err error) {
+	path := s.pathOf(key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(encodeRecord(payload)); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// encodeRecord frames a Save payload:
+//
+//	magic "DVTS" (4) | version u16 | reserved u16 | len u32 | payload |
+//	crc32 u32 (IEEE, over everything above)
+func encodeRecord(payload []byte) []byte {
+	out := make([]byte, recHdrLen, recHdrLen+len(payload)+4)
+	copy(out[:4], recMagic)
+	binary.LittleEndian.PutUint16(out[4:6], recVersion)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// decodeRecord verifies a record's framing and checksum and returns the
+// payload, using the internal/store typed error set.
+func decodeRecord(data []byte) ([]byte, error) {
+	if len(data) < recHdrLen+4 {
+		return nil, fmt.Errorf("treestore: record of %d bytes: %w", len(data), store.ErrTruncated)
+	}
+	if string(data[:4]) != recMagic {
+		return nil, fmt.Errorf("treestore: %w", store.ErrBadMagic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != recVersion {
+		return nil, &store.VersionError{File: "tree record", Got: v, Want: recVersion}
+	}
+	plen := binary.LittleEndian.Uint32(data[8:12])
+	if plen > maxPayload {
+		return nil, fmt.Errorf("treestore: implausible payload length %d: %w", plen, store.ErrChecksum)
+	}
+	if uint64(len(data)) < uint64(recHdrLen)+uint64(plen)+4 {
+		return nil, fmt.Errorf("treestore: record ends mid-payload: %w", store.ErrTruncated)
+	}
+	if uint64(len(data)) > uint64(recHdrLen)+uint64(plen)+4 {
+		return nil, fmt.Errorf("treestore: %d trailing bytes: %w", uint64(len(data))-uint64(recHdrLen)-uint64(plen)-4, store.ErrChecksum)
+	}
+	body := data[:recHdrLen+plen]
+	if binary.LittleEndian.Uint32(data[recHdrLen+plen:]) != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("treestore: %w", store.ErrChecksum)
+	}
+	return body[recHdrLen:], nil
+}

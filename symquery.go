@@ -1,0 +1,166 @@
+package dvicl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"dvicl/internal/obs"
+	"dvicl/internal/ssm"
+	"dvicl/internal/treestore"
+)
+
+// Symmetry-query serving: answer orbit / automorphism-group / quotient /
+// SSM questions about an *indexed* graph without rebuilding its AutoTree
+// per request. The index stores certificates, and a DviCL certificate is
+// fully decodable back into the canonical graph (canon.DecodeCertificate),
+// so the tree store can recover — and cache — the class's AutoTree from
+// the certificate alone. Answers are therefore class-level, phrased in
+// canonical vertex space: every graph of one isomorphism class maps to
+// the same canonical graph, and the reply describes that graph. Callers
+// holding an original labeling translate through the γ returned by
+// FindIsomorphism if they need original vertex ids.
+
+// ErrUnknownID is returned by the symmetry queries when no stored graph
+// has the requested id.
+var ErrUnknownID = errors.New("dvicl: unknown graph id")
+
+// ErrInvalidPattern is returned by SSMCtx when the query pattern is not a
+// duplicate-free vertex set of the canonical graph. Use errors.Is; the
+// returned error wraps this with the offending detail.
+var ErrInvalidPattern = errors.New("dvicl: invalid SSM pattern")
+
+// certByID resolves a public id to its shard and certificate.
+func (ix *GraphIndex) certByID(id int) (string, *indexShard, error) {
+	if id < 0 || len(ix.shards) == 0 {
+		return "", nil, ErrUnknownID
+	}
+	sh := ix.shards[id%len(ix.shards)]
+	local := id / len(ix.shards)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return "", nil, ErrIndexClosed
+	}
+	if local >= len(sh.certs) {
+		return "", nil, ErrUnknownID
+	}
+	return sh.certs[local], sh, nil
+}
+
+// treeByID returns the (shared, read-only) AutoTree of the canonical
+// graph of id's isomorphism class: from the shard's tree store when the
+// index has one — memory hit, disk hit, or single-flight rebuild — and
+// by a direct per-call rebuild otherwise.
+func (ix *GraphIndex) treeByID(ctx context.Context, id int) (*AutoTree, error) {
+	cert, sh, err := ix.certByID(id)
+	if err != nil {
+		return nil, err
+	}
+	if sh.ts != nil {
+		return sh.ts.Get(ctx, []byte(cert))
+	}
+	return treestore.Rebuild(ctx, []byte(cert), ix.opt)
+}
+
+// symQuery wraps the shared per-query bookkeeping: counter, phase timer,
+// trace span, and tree resolution. The returned done func ends the span
+// and phase; it is non-nil exactly when err is nil.
+func (ix *GraphIndex) symQuery(ctx context.Context, id int, c obs.Counter, name string) (*AutoTree, *MetricsRecorder, func(), error) {
+	rec := ix.recorderFor(ctx)
+	rec.Inc(c)
+	span := rec.StartPhase(obs.PhaseSymmetryQuery)
+	ts := obs.TraceFrom(ctx).StartSpan(obs.SpanFrom(ctx), name)
+	if ts != nil {
+		ts.SetAttr("graph_id", int64(id))
+		ctx = obs.WithSpan(ctx, ts)
+	}
+	tree, err := ix.treeByID(ctx, id)
+	if err != nil {
+		ts.End()
+		span.End()
+		return nil, nil, nil, err
+	}
+	done := func() {
+		ts.End()
+		span.End()
+	}
+	return tree, rec, done, nil
+}
+
+// OrbitsCtx returns the orbit partition of the canonical graph of id's
+// isomorphism class under its automorphism group. On a tree-store index
+// the warm path performs zero DviCL builds (the tree is served from the
+// decoded-tree cache or from disk).
+func (ix *GraphIndex) OrbitsCtx(ctx context.Context, id int) ([][]int, error) {
+	tree, _, done, err := ix.symQuery(ctx, id, obs.SymmetryQueryOrbits, "symquery_orbits")
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return tree.Orbits(), nil
+}
+
+// AutGroupCtx returns the automorphism group of the canonical graph of
+// id's isomorphism class: its order and a generating set in sparse
+// (moved-points) form. The generators alias the stored tree — treat them
+// as read-only.
+func (ix *GraphIndex) AutGroupCtx(ctx context.Context, id int) (order *big.Int, gens []SparsePerm, err error) {
+	tree, _, done, err := ix.symQuery(ctx, id, obs.SymmetryQueryAutGroup, "symquery_autgroup")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+	return tree.AutOrder(), append([]SparsePerm(nil), tree.SparseGenerators()...), nil
+}
+
+// QuotientCtx returns the orbit-quotient graph of the canonical graph of
+// id's isomorphism class (the paper's network-quotient application).
+func (ix *GraphIndex) QuotientCtx(ctx context.Context, id int) (QuotientResult, error) {
+	tree, _, done, err := ix.symQuery(ctx, id, obs.SymmetryQueryQuotient, "symquery_quotient")
+	if err != nil {
+		return QuotientResult{}, err
+	}
+	defer done()
+	return tree.Quotient(), nil
+}
+
+// SSMCtx answers a symmetric-subgraph-matching query (Algorithm 6)
+// against the canonical graph of id's isomorphism class: the number of
+// automorphic images of pattern, plus — when limit > 0 — up to limit of
+// the images themselves. Pattern vertices are canonical-graph ids, must
+// be in range and duplicate-free (ErrInvalidPattern otherwise).
+func (ix *GraphIndex) SSMCtx(ctx context.Context, id int, pattern []int, limit int) (count *big.Int, images [][]int, err error) {
+	tree, rec, done, err := ix.symQuery(ctx, id, obs.SymmetryQuerySSM, "symquery_ssm")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+	n := tree.Graph().N()
+	seen := make(map[int]bool, len(pattern))
+	for _, v := range pattern {
+		switch {
+		case v < 0 || v >= n:
+			return nil, nil, fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrInvalidPattern, v, n)
+		case seen[v]:
+			return nil, nil, fmt.Errorf("%w: duplicate vertex %d", ErrInvalidPattern, v)
+		}
+		seen[v] = true
+	}
+	// The SSM index lazily memoizes per-node metadata, so each request
+	// gets a fresh one; the shared tree underneath is read-only.
+	sx := ssm.NewIndex(tree)
+	sx.SetRecorder(rec)
+	count, err = sx.CountImagesCtx(ctx, pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	if limit > 0 {
+		images, err = sx.EnumerateCtx(ctx, pattern, limit)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return count, images, nil
+}
