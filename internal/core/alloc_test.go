@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"dvicl/internal/gen"
+	"dvicl/internal/graph"
+)
+
+// Build-path allocation benchmarks: one whole AutoTree build per op on
+// the two divide-heavy perfbench families (quick sizes). Run with
+// -benchmem; results/BUILD_ALLOCS.md records the before/after of the
+// PR 9 arena refactor.
+func benchmarkBuildAllocs(b *testing.B, g *graph.Graph) {
+	// Warm the engine workspace pool so rep 1 is not an outlier.
+	Build(g, nil, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g, nil, Options{})
+	}
+}
+
+func BenchmarkBuildAllocsCFI(b *testing.B) {
+	benchmarkBuildAllocs(b, gen.CFI(gen.RigidCubic(60, 41), false))
+}
+
+func BenchmarkBuildAllocsGridW(b *testing.B) {
+	benchmarkBuildAllocs(b, gen.GridW(3, 10))
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dvicl/internal/gen"
+	"dvicl/internal/graph"
+)
+
+// goldenFamilies pins one quick-size instance per perfbench family. The
+// instances mirror internal/perfbench's quick suite (the CI
+// configuration): cfi, grid-w, had, mz-aug, pg2, plus the social-graph
+// stand-ins driven by the social-ingest and symq scenarios.
+func goldenFamilies() map[string]func() (*graph.Graph, error) {
+	return map[string]func() (*graph.Graph, error){
+		"cfi":    func() (*graph.Graph, error) { return gen.CFI(gen.RigidCubic(60, 41), false), nil },
+		"grid-w": func() (*graph.Graph, error) { return gen.GridW(3, 10), nil },
+		"had":    func() (*graph.Graph, error) { return gen.Hadamard(64), nil },
+		"mz-aug": func() (*graph.Graph, error) { return gen.MzAug(16), nil },
+		"pg2":    func() (*graph.Graph, error) { return gen.PG2(7) },
+		"social": func() (*graph.Graph, error) {
+			return gen.Social(gen.SocialConfig{
+				Name: "perfbench", N: 150, M: 500,
+				TwinFrac: 0.12, PendantFrac: 0.18, Seed: 9000,
+			}), nil
+		},
+		"symq-social": func() (*graph.Graph, error) {
+			return gen.Social(gen.SocialConfig{
+				Name: "perfbench-symq", N: 150, M: 500,
+				TwinFrac: 0.12, PendantFrac: 0.18, Seed: 7000,
+			}), nil
+		},
+	}
+}
+
+const goldenDir = "testdata/golden"
+
+// TestGoldenCertificates asserts that the canonical certificate of every
+// perfbench family instance is byte-identical to the pinned SHA-256 —
+// sequentially and with Workers=8 — so any refactor of the build path is
+// provably behavior-preserving. The fixtures were generated before the
+// PR 9 arena refactor; regenerate only for a deliberate certificate
+// format change (DVICL_REGEN_GOLDEN=1 go test -run TestGoldenCertificates).
+func TestGoldenCertificates(t *testing.T) {
+	if os.Getenv("DVICL_REGEN_GOLDEN") == "1" {
+		regenGolden(t)
+	}
+	data, err := os.ReadFile(filepath.Join(goldenDir, "certs.json"))
+	if err != nil {
+		t.Fatalf("golden certs (run with DVICL_REGEN_GOLDEN=1 to generate): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden certs: %v", err)
+	}
+	fams := goldenFamilies()
+	if len(want) != len(fams) {
+		t.Fatalf("certs.json pins %d families, suite has %d", len(want), len(fams))
+	}
+	for name := range fams {
+		t.Run(name, func(t *testing.T) {
+			g := loadGolden(t, name)
+			for _, workers := range []int{0, 8} {
+				tree := Build(g, nil, Options{Workers: workers})
+				got := certSHA(tree.CanonicalCert())
+				if got != want[name] {
+					t.Errorf("workers=%d: certificate sha = %s, want %s (build path no longer byte-identical)",
+						workers, got, want[name])
+				}
+			}
+		})
+	}
+}
+
+// loadGolden decodes a family's pinned graph6 fixture and cross-checks
+// it against the generator, so a silently drifted generator cannot make
+// the golden assertion vacuous.
+func loadGolden(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(goldenDir, name+".g6"))
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	g, err := graph.FromGraph6(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("fixture decode: %v", err)
+	}
+	fresh, err := goldenFamilies()[name]()
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	if !g.Equal(fresh) {
+		t.Fatalf("generator output for %s no longer matches the committed fixture", name)
+	}
+	return g
+}
+
+func certSHA(cert []byte) string {
+	sum := sha256.Sum256(cert)
+	return hex.EncodeToString(sum[:])
+}
+
+func regenGolden(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	certs := map[string]string{}
+	var names []string
+	for name := range goldenFamilies() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, err := goldenFamilies()[name]()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := graph.ToGraph6(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(goldenDir, name+".g6"), []byte(s+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		certs[name] = certSHA(Build(g, nil, Options{}).CanonicalCert())
+		fmt.Printf("golden %-12s n=%-5d cert sha256 %s\n", name, g.N(), certs[name])
+	}
+	data, err := json.MarshalIndent(certs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(goldenDir, "certs.json"), append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
