@@ -82,7 +82,7 @@ func (b *builder) cl(sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) (*No
 	}
 	b.opt.Obs.Inc(obs.DivideICalls)
 	spanI := b.opt.Obs.StartPhase(obs.PhaseDivideI)
-	div := b.divideI(sg)
+	div := b.divideI(sg, ws)
 	spanI.End()
 	if div == nil && !b.opt.DisableDivideS {
 		b.opt.Obs.Inc(obs.DivideSCalls)

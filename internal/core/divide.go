@@ -145,7 +145,7 @@ type divideResult struct {
 // one-vertex subgraph and split the remainder into connected components.
 // It returns nil when the division would not produce at least two
 // children (the node "cannot be disconnected by DivideI").
-func (b *builder) divideI(sg *subgraph) *divideResult {
+func (b *builder) divideI(sg *subgraph, ws *engine.Workspace) *divideResult {
 	n := len(sg.verts)
 	colorCount := map[int]int{}
 	for l := 0; l < n; l++ {
@@ -157,15 +157,19 @@ func (b *builder) divideI(sg *subgraph) *divideResult {
 			singletons = append(singletons, l)
 		}
 	}
-	var rest []int
-	isSingleton := make(map[int]bool, len(singletons))
+	// ws.Bits flags the singleton locals; the singletons slice doubles as
+	// the visited list that restores the all-false invariant below.
 	for _, l := range singletons {
-		isSingleton[l] = true
+		ws.Bits[l] = true
 	}
+	var rest []int
 	for l := 0; l < n; l++ {
-		if !isSingleton[l] {
+		if !ws.Bits[l] {
 			rest = append(rest, l)
 		}
+	}
+	for _, l := range singletons {
+		ws.Bits[l] = false
 	}
 
 	var children []*subgraph

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dvicl/internal/coloring"
+	"dvicl/internal/engine"
 	"dvicl/internal/graph"
 )
 
@@ -36,7 +37,7 @@ func TestDivideIIsolatesSingletons(t *testing.T) {
 	g := fig1()
 	b := newTestBuilder(g)
 	sg := b.subgraphOf(allVerts(8))
-	div := b.divideI(sg)
+	div := b.divideI(sg, engine.GetWorkspace(g.N()))
 	if div == nil {
 		t.Fatal("DivideI failed on the paper's example")
 	}
@@ -63,7 +64,7 @@ func TestDivideIFailsWithoutSingletons(t *testing.T) {
 	// A cycle: unit cell, connected — DivideI cannot disconnect it.
 	g := cycle(8)
 	b := newTestBuilder(g)
-	if div := b.divideI(b.subgraphOf(allVerts(8))); div != nil {
+	if div := b.divideI(b.subgraphOf(allVerts(8)), engine.GetWorkspace(g.N())); div != nil {
 		t.Fatalf("DivideI divided a vertex-transitive cycle: %d children", len(div.children))
 	}
 }
@@ -75,7 +76,7 @@ func TestDivideIComponentsOnly(t *testing.T) {
 		{4, 5}, {5, 6}, {6, 7}, {7, 4},
 	})
 	b := newTestBuilder(g)
-	div := b.divideI(b.subgraphOf(allVerts(8)))
+	div := b.divideI(b.subgraphOf(allVerts(8)), engine.GetWorkspace(g.N()))
 	if div == nil || len(div.children) != 2 {
 		t.Fatalf("disconnected graph not split: %+v", div)
 	}
@@ -95,7 +96,7 @@ func TestDivideSCliqueRemoval(t *testing.T) {
 	g := graph.FromEdges(8, edges)
 	b := newTestBuilder(g)
 	sg := b.subgraphOf(allVerts(8))
-	if div := b.divideI(sg); div != nil {
+	if div := b.divideI(sg, engine.GetWorkspace(g.N())); div != nil {
 		t.Fatal("DivideI should not apply (no singleton cells)")
 	}
 	div := b.divideS(sg)
@@ -156,12 +157,12 @@ func TestDivideSNoOpOnCycle(t *testing.T) {
 func TestDescriptorInvariance(t *testing.T) {
 	g := fig1()
 	b1 := newTestBuilder(g)
-	d1 := b1.divideI(b1.subgraphOf(allVerts(8)))
+	d1 := b1.divideI(b1.subgraphOf(allVerts(8)), engine.GetWorkspace(g.N()))
 
 	perm := []int{3, 0, 1, 2, 5, 6, 4, 7} // an automorphism-ish relabeling
 	h := g.Permute(perm)
 	b2 := newTestBuilder(h)
-	d2 := b2.divideI(b2.subgraphOf(allVerts(8)))
+	d2 := b2.divideI(b2.subgraphOf(allVerts(8)), engine.GetWorkspace(h.N()))
 	if d1 == nil || d2 == nil {
 		t.Fatal("divides failed")
 	}

@@ -208,6 +208,14 @@ func checkInvariants(t *testing.T, w *Workspace, n int) {
 			t.Fatalf("Marks[%d] = true, want false", i)
 		}
 	}
+	if len(w.Bits) != n {
+		t.Fatalf("Bits len = %d, want %d", len(w.Bits), n)
+	}
+	for i, m := range w.Bits {
+		if m {
+			t.Fatalf("Bits[%d] = true, want false", i)
+		}
+	}
 	if len(w.Queue) != 0 || len(w.Touched) != 0 || len(w.Keys) != 0 || len(w.Frags) != 0 {
 		t.Fatalf("scratch slices not length 0: %d/%d/%d/%d",
 			len(w.Queue), len(w.Touched), len(w.Keys), len(w.Frags))

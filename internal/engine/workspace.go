@@ -20,6 +20,11 @@ type Workspace struct {
 	Counts []int
 	// Marks is the per-cell "in worklist" flag buffer (false invariant).
 	Marks []bool
+	// Bits is a general-purpose per-vertex bitmap (false invariant) for
+	// set-membership tests during divide — consumers record which indices
+	// they set and clear exactly those before returning (the visited-list
+	// trick), so restoring the invariant is O(set) not O(n).
+	Bits []bool
 	// Queue is the refinement worklist of cell start indices.
 	Queue []int
 	// Touched collects the cells reached by the current worklist cell.
@@ -42,6 +47,10 @@ func (w *Workspace) Grow(n int) {
 		w.Marks = make([]bool, 0, n)
 	}
 	w.Marks = w.Marks[:n]
+	if cap(w.Bits) < n {
+		w.Bits = make([]bool, 0, n)
+	}
+	w.Bits = w.Bits[:n]
 	if cap(w.Queue) < n {
 		w.Queue = make([]int, 0, n)
 	}
