@@ -14,6 +14,7 @@ package canon
 import (
 	"bytes"
 	"encoding/binary"
+	"slices"
 	"time"
 
 	"dvicl/internal/coloring"
@@ -139,7 +140,8 @@ func CanonicalCtl(ctl *engine.Ctl, ws *engine.Workspace, g *graph.Graph, pi *col
 	if err != nil {
 		s.stopErr = err
 	} else {
-		s.run(pi, []uint64{rootTrace}, nil)
+		s.trace = append(s.trace, rootTrace)
+		s.run(pi)
 	}
 	res := Result{
 		Generators:     s.gens,
@@ -213,6 +215,39 @@ type search struct {
 	// current position and the deepest common ancestor with the first
 	// path yields only derivable automorphisms).
 	backjump int
+
+	// trace and path are the shared depth stacks of the recursion: at a
+	// node of depth d, trace holds the d+1 refinement traces from the root
+	// and path the d individualized vertices. run pushes before recursing
+	// and pops after, so only leaves copy them (into leaf structs). This
+	// replaces the per-child trace/path slices the search used to allocate
+	// at every node.
+	trace []uint64
+	path  []int
+	// free is the coloring free-list: child colorings are drawn with
+	// getColoring (CopyFrom instead of Clone) and returned after their
+	// subtree finishes, so steady-state descent allocates no colorings.
+	free []*coloring.Coloring
+	// pruners is the orbitPruner free-list, same discipline.
+	pruners []*orbitPruner
+	// seed is the Individualize seed-pair buffer passed to RefineWS.
+	seed [2]int
+}
+
+// getColoring returns a coloring equal to src, reusing a free-listed one
+// when available. The caller must putColoring it when its subtree is done.
+func (s *search) getColoring(src *coloring.Coloring) *coloring.Coloring {
+	if k := len(s.free); k > 0 {
+		c := s.free[k-1]
+		s.free = s.free[:k-1]
+		c.CopyFrom(src)
+		return c
+	}
+	return src.Clone()
+}
+
+func (s *search) putColoring(c *coloring.Coloring) {
+	s.free = append(s.free, c)
 }
 
 // halted reports whether the search must stop visiting nodes: a
@@ -222,17 +257,17 @@ func (s *search) halted() bool {
 }
 
 func cellSizes(c *coloring.Coloring) []int {
-	var sizes []int
-	for _, cell := range c.Cells() {
-		sizes = append(sizes, len(cell))
+	sizes := make([]int, 0, c.NumCells())
+	for st := 0; st < c.N(); st = c.CellEnd(st) {
+		sizes = append(sizes, c.CellEnd(st)-st)
 	}
 	return sizes
 }
 
-// run explores the subtree rooted at the node with coloring c and path
-// trace vector trace. path holds the individualized vertices from the
-// root (the sequence ν of Section 4).
-func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
+// run explores the subtree rooted at the node with coloring c; s.trace
+// and s.path hold the node's trace vector and individualization sequence
+// ν (Section 4) as shared stacks.
+func (s *search) run(c *coloring.Coloring) {
 	if s.halted() {
 		return
 	}
@@ -250,7 +285,7 @@ func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
 		return
 	}
 	if c.IsDiscrete() {
-		s.visitLeaf(c, trace, path)
+		s.visitLeaf(c)
 		return
 	}
 	target := s.targetCell(c)
@@ -258,37 +293,44 @@ func (s *search) run(c *coloring.Coloring, trace []uint64, path []int) {
 	// so far fixes the whole path and maps an already-explored candidate
 	// to v. The orbit partition is rebuilt lazily whenever new generators
 	// have arrived (they are discovered while exploring earlier children).
-	pruner := newOrbitPruner(s.n, path)
+	pruner := s.getPruner()
+	level := len(s.trace)
 	for _, v := range target {
 		if s.halted() {
-			return
+			break
 		}
 		if pruner.pruned(s.gens, v) {
 			s.pruneOrbit++
 			continue
 		}
-		child := c.Clone()
-		sing, rest := child.Individualize(v)
-		t, err := child.RefineWS(s.g, []int{sing, rest}, s.ws, s.ctl, s.opt.Obs)
+		child := s.getColoring(c)
+		s.seed[0], s.seed[1] = child.Individualize(v)
+		t, err := child.RefineWS(s.g, s.seed[:], s.ws, s.ctl, s.opt.Obs)
 		if err != nil {
 			s.stopErr = err
-			return
+			s.putColoring(child)
+			break
 		}
-		level := len(trace)
-		childTrace := append(append([]uint64(nil), trace...), t)
 		if !s.keepChild(t, level) {
+			s.putColoring(child)
 			pruner.markExplored(v)
 			continue
 		}
-		s.run(child, childTrace, append(path, v))
+		s.trace = append(s.trace, t)
+		s.path = append(s.path, v)
+		s.run(child)
+		s.trace = s.trace[:len(s.trace)-1]
+		s.path = s.path[:len(s.path)-1]
+		s.putColoring(child)
 		pruner.markExplored(v)
 		if s.backjump >= 0 {
-			if len(path) > s.backjump {
-				return // keep unwinding to the common ancestor
+			if len(s.path) > s.backjump {
+				break // keep unwinding to the common ancestor
 			}
 			s.backjump = -1 // we are the fork node: resume siblings
 		}
 	}
+	s.putPruner(pruner)
 }
 
 // orbitPruner maintains, for one search-tree node, the orbit partition of
@@ -299,12 +341,32 @@ type orbitPruner struct {
 	n        int
 	path     []int
 	genCount int
+	inited   bool
 	parent   []int
 	explored []int
 }
 
-func newOrbitPruner(n int, path []int) *orbitPruner {
-	return &orbitPruner{n: n, path: append([]int(nil), path...)}
+// getPruner returns a pruner for the current node (path = s.path),
+// reusing a free-listed one when available; the union-find is still
+// initialized lazily on the first pruned() that has generators to apply.
+func (s *search) getPruner() *orbitPruner {
+	var o *orbitPruner
+	if k := len(s.pruners); k > 0 {
+		o = s.pruners[k-1]
+		s.pruners = s.pruners[:k-1]
+	} else {
+		o = &orbitPruner{}
+	}
+	o.n = s.n
+	o.path = append(o.path[:0], s.path...)
+	o.explored = o.explored[:0]
+	o.genCount = 0
+	o.inited = false
+	return o
+}
+
+func (s *search) putPruner(o *orbitPruner) {
+	s.pruners = append(s.pruners, o)
 }
 
 func (o *orbitPruner) find(x int) int {
@@ -320,12 +382,16 @@ func (o *orbitPruner) find(x int) int {
 // path-fixing generators is equivalent to a full rebuild but costs O(new
 // generators × n) instead of O(all generators × n).
 func (o *orbitPruner) update(gens []perm.Perm) {
-	if o.parent == nil {
-		o.parent = make([]int, o.n)
+	if !o.inited {
+		if cap(o.parent) < o.n {
+			o.parent = make([]int, o.n)
+		}
+		o.parent = o.parent[:o.n]
 		for i := range o.parent {
 			o.parent[i] = i
 		}
 		o.genCount = 0
+		o.inited = true
 	}
 	for _, g := range gens[o.genCount:] {
 		if !fixesPath(g, o.path) {
@@ -349,7 +415,7 @@ func (o *orbitPruner) pruned(gens []perm.Perm, v int) bool {
 	if len(o.explored) == 0 || len(gens) == 0 {
 		return false
 	}
-	if len(gens) != o.genCount {
+	if !o.inited || len(gens) != o.genCount {
 		o.update(gens)
 	}
 	rv := o.find(v)
@@ -409,13 +475,14 @@ func (s *search) keepChild(t uint64, level int) bool {
 
 // visitLeaf handles a discrete coloring: computes the leaf certificate,
 // discovers automorphisms against the reference leaves, and updates the
-// canonical candidate.
-func (s *search) visitLeaf(c *coloring.Coloring, trace []uint64, path []int) {
+// canonical candidate. Leaves copy the shared trace/path stacks — they
+// are the only search-tree nodes that keep them.
+func (s *search) visitLeaf(c *coloring.Coloring) {
 	s.leaves++
 	gamma := perm.Perm(c.Perm())
 	cert := s.certificate(gamma)
-	l := &leaf{gamma: gamma, cert: cert, trace: append([]uint64(nil), trace...),
-		path: append([]int(nil), path...)}
+	l := &leaf{gamma: gamma, cert: cert, trace: append([]uint64(nil), s.trace...),
+		path: append([]int(nil), s.path...)}
 	if s.first == nil {
 		s.first = l
 	} else if bytes.Equal(cert, s.first.cert) {
@@ -506,29 +573,45 @@ func fixesPath(g perm.Perm, path []int) bool {
 
 // targetCell implements the selector T for the configured policy,
 // returning the chosen non-singleton cell's vertices in ascending order.
+// Only the chosen cell is materialized (one allocation per node); the
+// scan walks the cell runs in place. Candidate order must stay ascending
+// — the canonical result depends on the order children are explored.
 func (s *search) targetCell(c *coloring.Coloring) []int {
-	var chosen []int
+	n := c.N()
+	chosen, size := -1, 0
 	switch s.opt.Policy {
 	case PolicyBliss:
-		for _, cell := range c.Cells() {
-			if len(cell) > 1 {
-				return cell
+		// First non-singleton cell (Kocay's choice).
+		for st := 0; st < n; st = c.CellEnd(st) {
+			if sz := c.CellEnd(st) - st; sz > 1 {
+				chosen, size = st, sz
+				break
 			}
 		}
 	case PolicyNauty:
-		for _, cell := range c.Cells() {
-			if len(cell) > 1 && (chosen == nil || len(cell) < len(chosen)) {
-				chosen = cell
+		// First smallest non-singleton cell.
+		for st := 0; st < n; st = c.CellEnd(st) {
+			if sz := c.CellEnd(st) - st; sz > 1 && (chosen < 0 || sz < size) {
+				chosen, size = st, sz
 			}
 		}
 	case PolicyTraces:
-		for _, cell := range c.Cells() {
-			if len(cell) > 1 && len(cell) > len(chosen) {
-				chosen = cell
+		// Largest non-singleton cell, ties broken by position.
+		for st := 0; st < n; st = c.CellEnd(st) {
+			if sz := c.CellEnd(st) - st; sz > 1 && sz > size {
+				chosen, size = st, sz
 			}
 		}
 	}
-	return chosen
+	if chosen < 0 {
+		return nil
+	}
+	cell := make([]int, size)
+	for i := range cell {
+		cell[i] = c.LabAt(chosen + i)
+	}
+	slices.Sort(cell)
+	return cell
 }
 
 // certificate encodes the canonical form (G^γ, π^γ): the root cell sizes
@@ -558,12 +641,16 @@ func EncodeCertificate(g *graph.Graph, gamma perm.Perm, rootCells []int) []byte 
 		put(sz)
 	}
 	edges := make([]uint64, 0, m)
-	for _, e := range g.Edges() {
-		u, v := gamma[e[0]], gamma[e[1]]
-		if u > v {
-			u, v = v, u
+	for u := 0; u < n; u++ {
+		for _, w := range g.Neighbors32(u) {
+			if int(w) > u {
+				a, b := gamma[u], gamma[int(w)]
+				if a > b {
+					a, b = b, a
+				}
+				edges = append(edges, uint64(a)<<32|uint64(b))
+			}
 		}
-		edges = append(edges, uint64(u)<<32|uint64(v))
 	}
 	sortUint64(edges)
 	for _, e := range edges {

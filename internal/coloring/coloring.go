@@ -104,6 +104,38 @@ func (c *Coloring) Cells() [][]int {
 // NumCells returns the number of cells.
 func (c *Coloring) NumCells() int { return c.nc }
 
+// CellEnd returns the end (exclusive) of the cell starting at position s.
+// s must be a cell start; iterating s = 0; s < n; s = c.CellEnd(s) walks
+// the cells in order without materializing them the way Cells does.
+func (c *Coloring) CellEnd(s int) int { return c.ce[s] }
+
+// LabAt returns the vertex at position p of the ordered partition.
+// Within a cell the positions carry no canonical order — consumers that
+// need a cell's vertices in ascending order sort them (see Cells).
+func (c *Coloring) LabAt(p int) int { return c.lab[p] }
+
+// CopyFrom makes c an independent copy of src, reusing c's backing
+// arrays when they are large enough. It is the allocation-free Clone the
+// backtrack search uses with its coloring free-list.
+func (c *Coloring) CopyFrom(src *Coloring) {
+	n := len(src.lab)
+	if cap(c.lab) < n {
+		c.lab = make([]int, n)
+		c.pos = make([]int, n)
+		c.cs = make([]int, n)
+		c.ce = make([]int, n)
+	}
+	c.lab = c.lab[:n]
+	c.pos = c.pos[:n]
+	c.cs = c.cs[:n]
+	c.ce = c.ce[:n]
+	copy(c.lab, src.lab)
+	copy(c.pos, src.pos)
+	copy(c.cs, src.cs)
+	copy(c.ce, src.ce)
+	c.nc = src.nc
+}
+
 // NumSingletons returns how many cells are singletons.
 func (c *Coloring) NumSingletons() int {
 	k := 0

@@ -28,3 +28,52 @@ func BenchmarkBuildAllocsCFI(b *testing.B) {
 func BenchmarkBuildAllocsGridW(b *testing.B) {
 	benchmarkBuildAllocs(b, gen.GridW(3, 10))
 }
+
+// TestBuildAllocCeiling is the allocation-regression guard for the arena
+// build path, in the style of obs's TestNilInstrumentationAllocFree: a
+// steady-state Build must stay under a pinned allocs-per-op ceiling, or
+// the pooled-workspace/slab/arena machinery has sprung a leak back to
+// the garbage collector. The ceilings carry ~2x headroom over the
+// measured values at the time of pinning (grid-w ≈ 240, leaf-search
+// dominated; pendant cycle ≈ 175, divide dominated — the remaining
+// allocs are the per-internal-node children slices) so they trip on
+// structural regressions — a per-node or per-candidate allocation
+// reappearing — not on noise. CI runs this in the perfbench job.
+func TestBuildAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc ceiling is a perf guard; skipped in -short")
+	}
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		ceiling float64
+	}{
+		// Leaf-search heavy: one non-dividing torus leaf per build.
+		{"grid-w-3-10", gen.GridW(3, 10), 500},
+		// Divide heavy: a cycle with a pendant divides to singletons.
+		{"cycle-pendant", pendantCycle(64), 350},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			Build(tc.g, nil, Options{}) // warm the workspace pool
+			allocs := testing.AllocsPerRun(5, func() {
+				Build(tc.g, nil, Options{})
+			})
+			if allocs > tc.ceiling {
+				t.Fatalf("Build allocates %.0f times per op, ceiling %.0f", allocs, tc.ceiling)
+			}
+		})
+	}
+}
+
+// pendantCycle returns an n-cycle with one pendant vertex: the pendant
+// breaks the symmetry so DivideI recurses the whole ring down to
+// singletons — the pure divide/combine path with no leaf search.
+func pendantCycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n + 1)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	b.AddEdge(0, n)
+	return b.Build()
+}

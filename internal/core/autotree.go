@@ -300,20 +300,27 @@ func BuildCtx(ctx context.Context, g *graph.Graph, pi *coloring.Coloring, opt Op
 		colors[v] = pi.Color(v)
 	}
 	t := &Tree{g: g, colors: colors, leafOf: make([]int, n)}
-	b := &builder{t: t, opt: opt, budget: budget, ctl: ctl, scratch: newScratch(n), tr: tr}
+	b := &builder{t: t, opt: opt, budget: budget, ctl: ctl, tr: tr}
 	if opt.Workers > 1 {
 		b.sem = make(chan struct{}, opt.Workers-1)
 	}
 
+	// wk owns this goroutine's workspace and slab; the root subgraph's
+	// arena frame spans the whole build and is released (restoring the
+	// workspace's fully-released invariant) before ws goes back to the
+	// pool.
+	wk := &worker{ws: ws}
 	var root *Node
 	if !opt.DisableTwinSimplification {
-		root, err = b.buildSimplified(ws, span)
+		root, err = b.buildSimplified(wk, span)
 	} else {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		root, err = b.cl(b.subgraphOf(all), ws, span)
+		mark := ws.Arena.Mark()
+		root, err = b.cl(b.subgraphOf(all, wk), wk, span)
+		ws.Arena.Release(mark)
 	}
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -20,20 +21,22 @@ import (
 // children describe the reduced components, and the descriptor describes —
 // purely in color terms, which is all that is needed because every removed
 // structure is color-complete — the edges the division deleted.
+//
+// The bytes accumulate in the workspace's Bytes buffer; the divide that
+// built the descriptor copies buf to the slab and restores ws.Bytes to
+// buf[:0] (keeping any growth).
 type descriptor struct {
-	buf bytes.Buffer
+	buf []byte
 }
 
-func newDescriptor(kind DivideKind) *descriptor {
-	d := &descriptor{}
+func newDescriptor(ws *engine.Workspace, kind DivideKind) descriptor {
+	d := descriptor{buf: ws.Bytes[:0]}
 	d.word(int(kind))
 	return d
 }
 
 func (d *descriptor) word(x int) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], uint64(x))
-	d.buf.Write(tmp[:])
+	d.buf = binary.BigEndian.AppendUint64(d.buf, uint64(x))
 }
 
 // singleton records a DivideI axis vertex: its color and the colors of
@@ -54,44 +57,52 @@ func (d *descriptor) pair(a, b int) {
 	d.word(b)
 }
 
-func (d *descriptor) bytes() []byte { return d.buf.Bytes() }
-
 // cl is the recursive procedure of Algorithm 1: it constructs the AutoTree
-// rooted at (g, πg), refining in ws (owned by this goroutine). It stops
-// with the controller's error as soon as the build is canceled or over
-// budget — every tree node is a cancellation checkpoint.
+// rooted at (g, πg) using wk's workspace and slab (owned by this
+// goroutine). It stops with the controller's error as soon as the build is
+// canceled or over budget — every tree node is a cancellation checkpoint.
+//
+// Memory: cl brackets each node in an arena frame — everything the divides
+// allocate (child CSRs, component scratch) lives until the whole subtree
+// below this node is built, then the frame is released at once. The
+// subgraph sg itself belongs to the caller's frame.
 //
 // ts is the enclosing trace span (nil when untraced): each divided node
 // hangs a "divide_i"/"divide_s" span under it and recurses with that span
 // as the parent, so the span tree mirrors the AutoTree's division
 // structure. Singleton leaves record no span; the trace's span cap bounds
 // pathological trees.
-func (b *builder) cl(sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) (*Node, error) {
+func (b *builder) cl(sg *subgraph, wk *worker, ts *obs.TraceSpan) (*Node, error) {
 	if err := b.ctl.Poll(); err != nil {
 		return nil, err
 	}
-	nd := &Node{Verts: sg.verts}
+	nd := wk.slab.node()
+	nd.Verts = sg.verts
 	if len(sg.verts) == 0 {
 		nd.Kind = KindLeaf
-		nd.Cert = hashParts([]byte{'e'})
+		e := [1]byte{'e'}
+		nd.Cert = wk.hash(e[:])
 		return nd, nil
 	}
 	if len(sg.verts) == 1 {
-		b.makeSingleton(nd)
+		b.makeSingleton(nd, wk)
 		return nd, nil
 	}
+	mark := wk.ws.Arena.Mark()
+	defer wk.ws.Arena.Release(mark)
 	b.opt.Obs.Inc(obs.DivideICalls)
 	spanI := b.opt.Obs.StartPhase(obs.PhaseDivideI)
-	div := b.divideI(sg, ws)
+	div, ok := b.divideI(sg, wk)
 	spanI.End()
-	if div == nil && !b.opt.DisableDivideS {
+	if !ok && !b.opt.DisableDivideS {
 		b.opt.Obs.Inc(obs.DivideSCalls)
 		spanS := b.opt.Obs.StartPhase(obs.PhaseDivideS)
-		div = b.divideS(sg)
+		div, ok = b.divideS(sg, wk)
 		spanS.End()
 	}
-	if div == nil {
-		if err := b.combineCL(nd, sg, ws, ts); err != nil {
+	if !ok {
+		wk.ws.Arena.Release(mark) // drop the failed divides' scratch before the leaf search
+		if err := b.combineCL(nd, sg, wk, ts); err != nil {
 			return nil, err
 		}
 		return nd, nil
@@ -106,13 +117,13 @@ func (b *builder) cl(sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) (*No
 	ds := b.tr.StartSpan(ts, name)
 	ds.SetAttr("size", int64(len(sg.verts)))
 	ds.SetAttr("children", int64(len(div.children)))
-	children, err := b.buildChildren(div.children, ws, ds)
+	children, err := b.buildChildren(div.children, wk, ds)
 	if err != nil {
 		ds.End()
 		return nil, err
 	}
 	nd.Children = children
-	b.combineST(nd)
+	b.combineST(nd, wk)
 	ds.End()
 	return nd, nil
 }
@@ -120,16 +131,16 @@ func (b *builder) cl(sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) (*No
 // buildChildren recurses into the divided subgraphs, in parallel when the
 // builder has spare worker tokens. Subtrees are fully independent (they
 // share only read-only state; spawned goroutines draw their own
-// workspaces), and combineST re-sorts by certificate, so the final tree
-// is identical to the sequential one. On error it still waits for every
-// spawned subtree — cancellation latches in the shared ctl, so siblings
-// unwind promptly and no goroutine is leaked — and returns the first
-// error observed.
-func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace, ts *obs.TraceSpan) ([]*Node, error) {
+// workspaces and slabs), and combineST re-sorts by certificate, so the
+// final tree is identical to the sequential one. On error it still waits
+// for every spawned subtree — cancellation latches in the shared ctl, so
+// siblings unwind promptly and no goroutine is leaked — and returns the
+// first error observed.
+func (b *builder) buildChildren(subs []*subgraph, wk *worker, ts *obs.TraceSpan) ([]*Node, error) {
 	nodes := make([]*Node, len(subs))
 	if b.sem == nil || len(subs) < 2 {
 		for i, child := range subs {
-			nd, err := b.cl(child, ws, ts)
+			nd, err := b.cl(child, wk, ts)
 			if err != nil {
 				return nil, err
 			}
@@ -155,9 +166,12 @@ func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace, ts *obs.
 			go func(i int, c *subgraph) {
 				defer wg.Done()
 				defer func() { <-b.sem }()
-				cws := engine.GetWorkspace(c.local.N())
-				nd, err := b.cl(c, cws, ts)
-				engine.PutWorkspace(cws)
+				// The workspace must be sized by the GLOBAL vertex count,
+				// not the subgraph's: LocalIdx is indexed by original ids
+				// and ColorCount/Gamma by global colors.
+				cwk := &worker{ws: engine.GetWorkspace(b.t.g.N())}
+				nd, err := b.cl(c, cwk, ts)
+				engine.PutWorkspace(cwk.ws)
 				if err != nil {
 					setErr(err)
 					return
@@ -166,7 +180,7 @@ func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace, ts *obs.
 			}(i, child)
 		default:
 			b.opt.Obs.Inc(obs.WorkerInline)
-			nd, err := b.cl(child, ws, ts)
+			nd, err := b.cl(child, wk, ts)
 			if err != nil {
 				setErr(err)
 			} else {
@@ -187,20 +201,31 @@ func (b *builder) buildChildren(subs []*subgraph, ws *engine.Workspace, ts *obs.
 	return nodes, nil
 }
 
+// hash returns the SHA-256 of body as a slab-backed 32-byte certificate.
+func (wk *worker) hash(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	return wk.slab.bytesCopy(sum[:])
+}
+
 // makeSingleton fills in a one-vertex leaf: its canonical label is its
 // color, C(g, πg) = (π(v), π(v)) per Section 5.
-func (b *builder) makeSingleton(nd *Node) {
+func (b *builder) makeSingleton(nd *Node, wk *worker) {
 	v := nd.Verts[0]
 	nd.Kind = KindSingleton
-	nd.gammaVal = []int{b.t.colors[v]}
-	nd.Cert = hashParts([]byte{'s'}, encodeInts(b.t.colors[v]))
+	g := wk.slab.intSlice(1)
+	g[0] = b.t.colors[v]
+	nd.gammaVal = g
+	var buf [9]byte
+	buf[0] = 's'
+	binary.BigEndian.PutUint64(buf[1:], uint64(b.t.colors[v]))
+	nd.Cert = wk.hash(buf[:])
 }
 
 // combineCL implements Algorithm 4 for a non-singleton leaf: an
 // individualization–refinement engine (the paper's nauty/bliss/traces)
 // canonically labels (g, πg); its total order γ* then ranks same-colored
 // vertices, yielding vᵞᵍ = π(v) + rank.
-func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace, ts *obs.TraceSpan) error {
+func (b *builder) combineCL(nd *Node, sg *subgraph, wk *worker, ts *obs.TraceSpan) error {
 	nd.Kind = KindLeaf
 	b.opt.Obs.Inc(obs.LeafSearches)
 	leafSpan := b.tr.StartSpan(ts, "leaf_search")
@@ -208,7 +233,8 @@ func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace, ts *ob
 	defer leafSpan.End()
 	span := b.opt.Obs.StartPhase(obs.PhaseCombineCL)
 	defer span.End()
-	cells := b.cellsOf(sg)
+	ws := wk.ws
+	cells := b.cellsOf(sg, ws)
 	pi, err := coloring.FromCells(len(sg.verts), cells)
 	if err != nil {
 		return engine.Internalf("core.combineCL", "projected cells are not a partition: %v", err)
@@ -240,43 +266,64 @@ func (b *builder) combineCL(nd *Node, sg *subgraph, ws *engine.Workspace, ts *ob
 		}
 	}
 	nd.localGens = res.Generators
-	nd.localGraph = sg.local
-	// Rank same-colored vertices by γ*.
-	nd.gammaVal = make([]int, len(sg.verts))
+	// sg.local is an arena-backed view owned by an enclosing frame that is
+	// released once the tree is built; the leaf keeps its local graph for
+	// later queries (SSM, verification), so promote it to a heap copy.
+	nd.localGraph = sg.local.Clone()
+	// Rank same-colored vertices by γ*: sort each cell by packed
+	// (order, local) keys — order values are distinct, so this matches
+	// sorting members by order — and rank in that sequence.
+	nd.gammaVal = wk.slab.intSlice(len(sg.verts))
+	keys := ws.Keys[:0]
 	for _, cell := range cells {
-		members := append([]int(nil), cell...)
-		sort.Slice(members, func(i, j int) bool { return order[members[i]] < order[members[j]] })
-		color := b.colorOf(sg, members[0])
-		for rank, l := range members {
-			nd.gammaVal[l] = color + rank
+		keys = keys[:0]
+		for _, l := range cell {
+			keys = append(keys, uint64(order[l])<<32|uint64(l))
+		}
+		slices.Sort(keys)
+		color := b.colorOf(sg, cell[0])
+		for rank, key := range keys {
+			nd.gammaVal[int(key&0xffffffff)] = color + rank
 		}
 	}
-	nd.Cert = leafCert(nd, sg, cells, b)
+	ws.Keys = keys[:0]
+	nd.Cert = leafCert(nd, sg, cells, b, wk)
 	return nil
 }
 
 // leafCert encodes the canonical form of a leaf exactly: the (color,
 // count) profile followed by the edge list relabeled by γg — the colored
 // graph C(g, πg) — then hashed.
-func leafCert(nd *Node, sg *subgraph, cells [][]int, b *builder) []byte {
-	var body bytes.Buffer
-	body.WriteByte('l')
+func leafCert(nd *Node, sg *subgraph, cells [][]int, b *builder, wk *worker) []byte {
+	ws := wk.ws
+	body := ws.Bytes[:0]
+	body = append(body, 'l')
 	for _, cell := range cells {
-		body.Write(encodeInts(b.colorOf(sg, cell[0]), len(cell)))
+		body = binary.BigEndian.AppendUint64(body, uint64(b.colorOf(sg, cell[0])))
+		body = binary.BigEndian.AppendUint64(body, uint64(len(cell)))
 	}
-	edges := make([]uint64, 0, sg.local.M())
-	for _, e := range sg.local.Edges() {
-		u, v := nd.gammaVal[e[0]], nd.gammaVal[e[1]]
-		if u > v {
-			u, v = v, u
+	edges := ws.Keys[:0]
+	g := sg.local
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors32(u) {
+			if int(w) > u {
+				a, c := nd.gammaVal[u], nd.gammaVal[int(w)]
+				if a > c {
+					a, c = c, a
+				}
+				edges = append(edges, uint64(a)<<32|uint64(c))
+			}
 		}
-		edges = append(edges, uint64(u)<<32|uint64(v))
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	slices.Sort(edges)
 	for _, e := range edges {
-		body.Write(encodeInts(int(e>>32), int(e&0xffffffff)))
+		body = binary.BigEndian.AppendUint64(body, e>>32)
+		body = binary.BigEndian.AppendUint64(body, e&0xffffffff)
 	}
-	return hashParts(body.Bytes())
+	cert := wk.hash(body)
+	ws.Bytes = body[:0]
+	ws.Keys = edges[:0]
+	return cert
 }
 
 // combineST implements Algorithm 5: children are sorted by certificate;
@@ -285,49 +332,63 @@ func leafCert(nd *Node, sg *subgraph, cells [][]int, b *builder) []byte {
 // certificate from the descriptor and the sorted child certificates.
 // It is re-runnable: twin expansion (Section 6.1) calls it again after
 // inserting children.
-func (b *builder) combineST(nd *Node) {
+func (b *builder) combineST(nd *Node, wk *worker) {
 	span := b.opt.Obs.StartPhase(obs.PhaseCombineST)
 	defer span.End()
-	sort.SliceStable(nd.Children, func(i, j int) bool {
-		return bytes.Compare(nd.Children[i].Cert, nd.Children[j].Cert) < 0
+	slices.SortStableFunc(nd.Children, func(x, y *Node) int {
+		return bytes.Compare(x.Cert, y.Cert)
 	})
 	// Recompute Verts as the union of children (expansion changes it).
 	total := 0
 	for _, c := range nd.Children {
 		total += len(c.Verts)
 	}
-	verts := make([]int, 0, total)
+	verts := wk.slab.intSlice(total)
+	p := 0
 	for _, c := range nd.Children {
-		verts = append(verts, c.Verts...)
+		p += copy(verts[p:], c.Verts)
 	}
-	sort.Ints(verts)
+	slices.Sort(verts)
 	nd.Verts = verts
 
 	// Rank same-colored vertices: child order first, within-child γ order
-	// second (lines 1–5 of Algorithm 5).
-	rank := map[int]int{}
-	gval := make(map[int]int, total)
+	// second (lines 1–5 of Algorithm 5). Per-color ranks live in
+	// ColorCount (zeroed invariant, restored below); per-vertex labels in
+	// Gamma (write-before-read). Each child's vertices are walked in γ
+	// order by sorting packed (gammaVal, local) keys — gammaVal values
+	// are distinct within a node, so this matches vertsByGamma.
+	ws := wk.ws
+	keys := ws.Keys[:0]
 	for _, c := range nd.Children {
-		ordered := vertsByGamma(c)
-		for _, v := range ordered {
+		keys = keys[:0]
+		for i, gv := range c.gammaVal {
+			keys = append(keys, uint64(gv)<<32|uint64(i))
+		}
+		slices.Sort(keys)
+		for _, key := range keys {
+			v := c.Verts[int(key&0xffffffff)]
 			color := b.t.colors[v]
-			gval[v] = color + rank[color]
-			rank[color]++
+			ws.Gamma[v] = color + int(ws.ColorCount[color])
+			ws.ColorCount[color]++
 		}
 	}
-	nd.gammaVal = make([]int, len(nd.Verts))
+	gamma := wk.slab.intSlice(len(nd.Verts))
 	for i, v := range nd.Verts {
-		nd.gammaVal[i] = gval[v]
+		gamma[i] = ws.Gamma[v]
+		ws.ColorCount[b.t.colors[v]] = 0
 	}
+	nd.gammaVal = gamma
+	ws.Keys = keys[:0]
 
 	// Certificate: divide kind + removal descriptor + ordered child certs.
-	var body bytes.Buffer
-	body.WriteByte('i')
-	body.Write(nd.desc)
+	body := ws.Bytes[:0]
+	body = append(body, 'i')
+	body = append(body, nd.desc...)
 	for _, c := range nd.Children {
-		body.Write(c.Cert)
+		body = append(body, c.Cert...)
 	}
-	nd.Cert = hashParts(body.Bytes())
+	nd.Cert = wk.hash(body)
+	ws.Bytes = body[:0]
 }
 
 // vertsByGamma returns a node's vertices ordered by their canonical label
@@ -341,22 +402,6 @@ func vertsByGamma(nd *Node) []int {
 	out := make([]int, len(idx))
 	for i, j := range idx {
 		out[i] = nd.Verts[j]
-	}
-	return out
-}
-
-func hashParts(parts ...[]byte) []byte {
-	h := sha256.New()
-	for _, p := range parts {
-		h.Write(p)
-	}
-	return h.Sum(nil)
-}
-
-func encodeInts(xs ...int) []byte {
-	out := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.BigEndian.PutUint64(out[8*i:], uint64(x))
 	}
 	return out
 }

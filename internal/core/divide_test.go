@@ -10,8 +10,8 @@ import (
 )
 
 // newTestBuilder prepares a builder over g with its equitable coloring,
-// mirroring Build's setup.
-func newTestBuilder(g *graph.Graph) *builder {
+// mirroring Build's setup, plus the worker the divides run on.
+func newTestBuilder(g *graph.Graph) (*builder, *worker) {
 	n := g.N()
 	pi := coloring.Unit(n)
 	pi.Refine(g, nil)
@@ -20,7 +20,7 @@ func newTestBuilder(g *graph.Graph) *builder {
 		colors[v] = pi.Color(v)
 	}
 	t := &Tree{g: g, colors: colors, leafOf: make([]int, n)}
-	return &builder{t: t, scratch: newScratch(n)}
+	return &builder{t: t}, &worker{ws: engine.GetWorkspace(n)}
 }
 
 func allVerts(n int) []int {
@@ -35,10 +35,10 @@ func TestDivideIIsolatesSingletons(t *testing.T) {
 	// Fig 1(a): the hub (vertex 7) is the only singleton cell; removing
 	// it separates the C4 from the triangle.
 	g := fig1()
-	b := newTestBuilder(g)
-	sg := b.subgraphOf(allVerts(8))
-	div := b.divideI(sg, engine.GetWorkspace(g.N()))
-	if div == nil {
+	b, wk := newTestBuilder(g)
+	sg := b.subgraphOf(allVerts(8), wk)
+	div, ok := b.divideI(sg, wk)
+	if !ok {
 		t.Fatal("DivideI failed on the paper's example")
 	}
 	if div.kind != DividedI {
@@ -63,8 +63,8 @@ func TestDivideIIsolatesSingletons(t *testing.T) {
 func TestDivideIFailsWithoutSingletons(t *testing.T) {
 	// A cycle: unit cell, connected — DivideI cannot disconnect it.
 	g := cycle(8)
-	b := newTestBuilder(g)
-	if div := b.divideI(b.subgraphOf(allVerts(8)), engine.GetWorkspace(g.N())); div != nil {
+	b, wk := newTestBuilder(g)
+	if div, ok := b.divideI(b.subgraphOf(allVerts(8), wk), wk); ok {
 		t.Fatalf("DivideI divided a vertex-transitive cycle: %d children", len(div.children))
 	}
 }
@@ -75,10 +75,10 @@ func TestDivideIComponentsOnly(t *testing.T) {
 		{0, 1}, {1, 2}, {2, 3}, {3, 0},
 		{4, 5}, {5, 6}, {6, 7}, {7, 4},
 	})
-	b := newTestBuilder(g)
-	div := b.divideI(b.subgraphOf(allVerts(8)), engine.GetWorkspace(g.N()))
-	if div == nil || len(div.children) != 2 {
-		t.Fatalf("disconnected graph not split: %+v", div)
+	b, wk := newTestBuilder(g)
+	div, ok := b.divideI(b.subgraphOf(allVerts(8), wk), wk)
+	if !ok || len(div.children) != 2 {
+		t.Fatalf("disconnected graph not split: ok=%v %+v", ok, div)
 	}
 }
 
@@ -94,13 +94,13 @@ func TestDivideSCliqueRemoval(t *testing.T) {
 		edges = append(edges, [2]int{i, 4 + i})
 	}
 	g := graph.FromEdges(8, edges)
-	b := newTestBuilder(g)
-	sg := b.subgraphOf(allVerts(8))
-	if div := b.divideI(sg, engine.GetWorkspace(g.N())); div != nil {
+	b, wk := newTestBuilder(g)
+	sg := b.subgraphOf(allVerts(8), wk)
+	if _, ok := b.divideI(sg, wk); ok {
 		t.Fatal("DivideI should not apply (no singleton cells)")
 	}
-	div := b.divideS(sg)
-	if div == nil {
+	div, ok := b.divideS(sg, wk)
+	if !ok {
 		t.Fatal("DivideS failed on clique-cell graph")
 	}
 	if len(div.children) != 4 {
@@ -131,10 +131,10 @@ func TestDivideSBicliqueRemoval(t *testing.T) {
 		}
 	}
 	g := graph.FromEdges(6, edges)
-	b := newTestBuilder(g)
-	sg := b.subgraphOf(allVerts(6))
-	div := b.divideS(sg)
-	if div == nil {
+	b, wk := newTestBuilder(g)
+	sg := b.subgraphOf(allVerts(6), wk)
+	div, ok := b.divideS(sg, wk)
+	if !ok {
 		t.Fatal("DivideS failed on clique+biclique structure")
 	}
 	// Everything falls apart into 6 singletons.
@@ -145,8 +145,8 @@ func TestDivideSBicliqueRemoval(t *testing.T) {
 
 func TestDivideSNoOpOnCycle(t *testing.T) {
 	g := cycle(10)
-	b := newTestBuilder(g)
-	if div := b.divideS(b.subgraphOf(allVerts(10))); div != nil {
+	b, wk := newTestBuilder(g)
+	if _, ok := b.divideS(b.subgraphOf(allVerts(10), wk), wk); ok {
 		t.Fatal("DivideS divided a cycle (no complete structures)")
 	}
 }
@@ -156,17 +156,49 @@ func TestDivideSNoOpOnCycle(t *testing.T) {
 // of internal nodes relies on).
 func TestDescriptorInvariance(t *testing.T) {
 	g := fig1()
-	b1 := newTestBuilder(g)
-	d1 := b1.divideI(b1.subgraphOf(allVerts(8)), engine.GetWorkspace(g.N()))
+	b1, wk1 := newTestBuilder(g)
+	d1, ok1 := b1.divideI(b1.subgraphOf(allVerts(8), wk1), wk1)
 
 	perm := []int{3, 0, 1, 2, 5, 6, 4, 7} // an automorphism-ish relabeling
 	h := g.Permute(perm)
-	b2 := newTestBuilder(h)
-	d2 := b2.divideI(b2.subgraphOf(allVerts(8)), engine.GetWorkspace(h.N()))
-	if d1 == nil || d2 == nil {
+	b2, wk2 := newTestBuilder(h)
+	d2, ok2 := b2.divideI(b2.subgraphOf(allVerts(8), wk2), wk2)
+	if !ok1 || !ok2 {
 		t.Fatal("divides failed")
 	}
 	if !bytes.Equal(d1.desc, d2.desc) {
 		t.Fatal("DivideI descriptors differ across a relabeling")
+	}
+}
+
+// TestDivideWorkspaceInvariants: the divides must leave the workspace in
+// its documented between-uses state so the next consumer can rely on it.
+func TestDivideWorkspaceInvariants(t *testing.T) {
+	for _, build := range []func() *graph.Graph{fig1, func() *graph.Graph { return cycle(8) }} {
+		g := build()
+		b, wk := newTestBuilder(g)
+		mark := wk.ws.Arena.Mark()
+		sg := b.subgraphOf(allVerts(g.N()), wk)
+		b.divideI(sg, wk)
+		b.divideS(sg, wk)
+		wk.ws.Arena.Release(mark)
+		ws := wk.ws
+		for v := 0; v < g.N(); v++ {
+			if ws.LocalIdx[v] != 0 {
+				t.Fatalf("LocalIdx[%d] = %d after divide", v, ws.LocalIdx[v])
+			}
+			if ws.ColorCount[v] != 0 {
+				t.Fatalf("ColorCount[%d] = %d after divide", v, ws.ColorCount[v])
+			}
+			if ws.Bits[v] {
+				t.Fatalf("Bits[%d] set after divide", v)
+			}
+		}
+		if len(ws.IntsA)+len(ws.IntsB)+len(ws.IntsC)+len(ws.Keys)+len(ws.Bytes) != 0 {
+			t.Fatal("list buffers not reset to length 0 after divide")
+		}
+		if len(ws.PairCount) != 0 {
+			t.Fatal("PairCount not empty after divide")
+		}
 	}
 }

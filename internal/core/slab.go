@@ -1,0 +1,116 @@
+package core
+
+import (
+	"dvicl/internal/engine"
+	"dvicl/internal/graph"
+)
+
+// slab bump-allocates the small values that outlive the build: Node
+// structs, Verts/gammaVal int slices, 32-byte certificates, plus the
+// transient-but-tiny subgraph and graph headers of the divide phase.
+// One tree node used to cost a handful of individual heap objects; with
+// the slab, whole chunks of them are carved from a few large
+// allocations.
+//
+// Ownership: each build worker goroutine owns exactly one slab (see
+// worker). Slab memory is never reused or pooled — tree nodes keep
+// pointing into the chunks, so the chunks belong to the finished Tree
+// and are reclaimed by the GC when the tree is dropped, all together.
+type slab struct {
+	nodes  []Node
+	subs   []subgraph
+	graphs []graph.Graph
+	ints   []int
+	bytes  []byte
+	// Next chunk sizes. Chunks start small and double up to the caps so a
+	// small graph's tree does not pin a near-empty 32 KB chunk — a store
+	// holding thousands of small trees would otherwise balloon the heap.
+	nodeChunk, subChunk, graphChunk, intChunk, byteChunk int
+}
+
+const (
+	slabStructChunkMin = 16   // initial Node / subgraph / graph.Graph chunk
+	slabStructChunkMax = 256  // cap for struct chunks
+	slabScalarChunkMin = 256  // initial int / byte chunk
+	slabScalarChunkMax = 4096 // cap for scalar chunks
+)
+
+// nextChunk advances a doubling chunk-size counter and returns the size
+// to allocate now.
+func nextChunk(cur *int, min, max int) int {
+	size := *cur
+	if size == 0 {
+		size = min
+	}
+	*cur = size * 2
+	if *cur > max {
+		*cur = max
+	}
+	return size
+}
+
+func (s *slab) node() *Node {
+	if len(s.nodes) == 0 {
+		s.nodes = make([]Node, nextChunk(&s.nodeChunk, slabStructChunkMin, slabStructChunkMax))
+	}
+	nd := &s.nodes[0]
+	s.nodes = s.nodes[1:]
+	return nd
+}
+
+func (s *slab) sub() *subgraph {
+	if len(s.subs) == 0 {
+		s.subs = make([]subgraph, nextChunk(&s.subChunk, slabStructChunkMin, slabStructChunkMax))
+	}
+	sg := &s.subs[0]
+	s.subs = s.subs[1:]
+	return sg
+}
+
+// graph places a CSR view into the slab and returns a pointer to it.
+func (s *slab) graph(offsets, adj []int32) *graph.Graph {
+	if len(s.graphs) == 0 {
+		s.graphs = make([]graph.Graph, nextChunk(&s.graphChunk, slabStructChunkMin, slabStructChunkMax))
+	}
+	g := &s.graphs[0]
+	s.graphs = s.graphs[1:]
+	*g = graph.FromCSR(offsets, adj)
+	return g
+}
+
+// intSlice returns a zero-valued int slice of length n with capacity n.
+func (s *slab) intSlice(n int) []int {
+	if len(s.ints) < n {
+		s.ints = make([]int, max(nextChunk(&s.intChunk, slabScalarChunkMin, slabScalarChunkMax), n))
+	}
+	out := s.ints[:n:n]
+	s.ints = s.ints[n:]
+	return out
+}
+
+// byteSlice returns a zero-valued byte slice of length n with capacity n.
+func (s *slab) byteSlice(n int) []byte {
+	if len(s.bytes) < n {
+		s.bytes = make([]byte, max(nextChunk(&s.byteChunk, slabScalarChunkMin, slabScalarChunkMax), n))
+	}
+	out := s.bytes[:n:n]
+	s.bytes = s.bytes[n:]
+	return out
+}
+
+// bytesCopy copies b into the slab.
+func (s *slab) bytesCopy(b []byte) []byte {
+	out := s.byteSlice(len(b))
+	copy(out, b)
+	return out
+}
+
+// worker bundles the per-goroutine scratch of one build worker: the
+// pooled engine workspace (transient — returned to the pool when the
+// worker finishes) and the slab (tree-lifetime — handed to the Tree).
+// A worker belongs to exactly one goroutine; buildChildren gives every
+// spawned subtree goroutine a fresh one.
+type worker struct {
+	ws   *engine.Workspace
+	slab slab
+}

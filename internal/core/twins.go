@@ -21,19 +21,21 @@ import (
 // are left to the regular machinery (DivideS isolates them anyway, since
 // for an equitable coloring a twin class's neighborhood is a union of
 // whole cells, i.e. removable bicliques).
-func (b *builder) buildSimplified(ws *engine.Workspace, ts *obs.TraceSpan) (*Node, error) {
+func (b *builder) buildSimplified(wk *worker, ts *obs.TraceSpan) (*Node, error) {
 	n := b.t.g.N()
 	twinSpan := b.tr.StartSpan(ts, "twins")
 	detectSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
 	twinsOf := b.wholeClassTwins()
 	detectSpan.End()
 	twinSpan.End()
+	mark := wk.ws.Arena.Mark()
+	defer wk.ws.Arena.Release(mark)
 	if len(twinsOf) == 0 {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		return b.cl(b.subgraphOf(all), ws, ts)
+		return b.cl(b.subgraphOf(all, wk), wk, ts)
 	}
 	removed := make([]bool, n)
 	var collapsed int64
@@ -51,13 +53,13 @@ func (b *builder) buildSimplified(ws *engine.Workspace, ts *obs.TraceSpan) (*Nod
 			kept = append(kept, v)
 		}
 	}
-	root, err := b.cl(b.subgraphOf(kept), ws, ts)
+	root, err := b.cl(b.subgraphOf(kept, wk), wk, ts)
 	if err != nil {
 		return nil, err
 	}
 	expandTrSpan := b.tr.StartSpan(ts, "twins_expand")
 	expandSpan := b.opt.Obs.StartPhase(obs.PhaseTwins)
-	expanded, err := b.expandTwins(root, twinsOf)
+	expanded, err := b.expandTwins(root, twinsOf, wk)
 	expandSpan.End()
 	expandTrSpan.End()
 	if err != nil {
@@ -69,9 +71,14 @@ func (b *builder) buildSimplified(ws *engine.Workspace, ts *obs.TraceSpan) (*Nod
 	// The simplified graph degenerated to a single twin representative:
 	// wrap the expanded siblings in a fresh internal node, mirroring what
 	// DivideI on the unsimplified graph would have produced.
-	wrapper := &Node{Kind: KindInternal, Divide: DividedI, desc: newDescriptor(DividedI).bytes()}
+	wrapper := wk.slab.node()
+	wrapper.Kind = KindInternal
+	wrapper.Divide = DividedI
+	d := newDescriptor(wk.ws, DividedI)
+	wrapper.desc = wk.slab.bytesCopy(d.buf)
+	wk.ws.Bytes = d.buf[:0]
 	wrapper.Children = expanded
-	b.combineST(wrapper)
+	b.combineST(wrapper, wk)
 	return wrapper, nil
 }
 
@@ -122,7 +129,7 @@ func sameNeighbors(a, b []int) bool {
 // representative becomes that leaf plus one sibling singleton leaf per
 // twin; internal nodes re-run CombineST over the widened child list so
 // Verts, γg and certificates stay consistent.
-func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) ([]*Node, error) {
+func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int, wk *worker) ([]*Node, error) {
 	switch nd.Kind {
 	case KindSingleton:
 		twins, ok := twinsOf[nd.Verts[0]]
@@ -131,8 +138,11 @@ func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) ([]*Node, error) 
 		}
 		out := []*Node{nd}
 		for _, v := range twins {
-			leaf := &Node{Verts: []int{v}}
-			b.makeSingleton(leaf)
+			leaf := wk.slab.node()
+			verts := wk.slab.intSlice(1)
+			verts[0] = v
+			leaf.Verts = verts
+			b.makeSingleton(leaf, wk)
 			out = append(out, leaf)
 		}
 		return out, nil
@@ -149,7 +159,7 @@ func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) ([]*Node, error) 
 	default:
 		var children []*Node
 		for _, c := range nd.Children {
-			sub, err := b.expandTwins(c, twinsOf)
+			sub, err := b.expandTwins(c, twinsOf, wk)
 			if err != nil {
 				return nil, err
 			}
@@ -159,7 +169,7 @@ func (b *builder) expandTwins(nd *Node, twinsOf map[int][]int) ([]*Node, error) 
 		// Re-run CombineST unconditionally: any expansion in the subtree
 		// changed child certificates, so the sort, γg and certificate must
 		// be recomputed.
-		b.combineST(nd)
+		b.combineST(nd, wk)
 		return []*Node{nd}, nil
 	}
 }

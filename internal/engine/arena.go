@@ -1,0 +1,78 @@
+package engine
+
+// Arena is a chunked int32 bump allocator with strict stack (Mark /
+// Release) discipline, used for the transient CSR views the divide phase
+// materializes at every tree node: offsets, adjacency, component labels
+// and other per-frame int32 scratch.
+//
+// Design constraints it satisfies:
+//
+//   - Handed-out slices stay valid until their frame is released: chunks
+//     are append-only and never move or grow in place, so Alloc never
+//     invalidates earlier allocations (a single growing buffer would).
+//   - Allocation is write-before-read: Alloc does NOT zero reused
+//     memory. Every consumer fully writes a slice before reading it.
+//   - Release is O(1): it rewinds the bump position to a Mark taken
+//     earlier on the same arena. Marks must be released in LIFO order
+//     (the recursion structure of the build guarantees this).
+//
+// An Arena belongs to exactly one goroutine (it lives in a Workspace and
+// inherits its ownership rule). Between Workspace uses the arena must be
+// fully released: every consumer releases every mark it takes, including
+// on error paths, so a workspace drawn from the pool starts empty.
+type Arena struct {
+	chunks [][]int32
+	cur    int // index of the chunk being bump-filled
+	used   int // int32s used in chunks[cur]
+}
+
+// arenaMinChunk is the smallest chunk ever allocated; later chunks
+// double so a build settles into O(log peak) chunks total.
+const arenaMinChunk = 4096
+
+// ArenaMark is a position in the arena's bump stack.
+type ArenaMark struct{ chunk, used int }
+
+// Mark records the current position for a later Release.
+func (a *Arena) Mark() ArenaMark { return ArenaMark{a.cur, a.used} }
+
+// Release rewinds the arena to m, logically freeing every Alloc made
+// since the matching Mark. Memory is retained for reuse, not returned to
+// the Go heap.
+func (a *Arena) Release(m ArenaMark) {
+	a.cur, a.used = m.chunk, m.used
+}
+
+// Alloc returns an int32 slice of length n with capacity exactly n (so
+// an append by the caller cannot silently bleed into a neighboring
+// allocation). Contents are unspecified: callers write before reading.
+func (a *Arena) Alloc(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.cur < len(a.chunks) {
+			c := a.chunks[a.cur]
+			if a.used+n <= len(c) {
+				s := c[a.used : a.used+n : a.used+n]
+				a.used += n
+				return s
+			}
+			// The current chunk's tail is too small: waste it and move
+			// on. Wasted tails are bounded by the doubling growth.
+			a.cur++
+			a.used = 0
+			continue
+		}
+		size := arenaMinChunk
+		if k := len(a.chunks); k > 0 {
+			size = 2 * len(a.chunks[k-1])
+		}
+		if size < n {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]int32, size))
+		a.cur = len(a.chunks) - 1
+		a.used = 0
+	}
+}

@@ -1,0 +1,100 @@
+package engine
+
+import "testing"
+
+func TestArenaAllocAndRelease(t *testing.T) {
+	var a Arena
+	m0 := a.Mark()
+	s1 := a.Alloc(10)
+	if len(s1) != 10 || cap(s1) != 10 {
+		t.Fatalf("Alloc(10): len=%d cap=%d", len(s1), cap(s1))
+	}
+	for i := range s1 {
+		s1[i] = int32(i)
+	}
+	s2 := a.Alloc(20)
+	if &s1[9] == &s2[0] {
+		t.Fatal("allocations overlap")
+	}
+	for i := range s2 {
+		s2[i] = 100
+	}
+	for i := range s1 {
+		if s1[i] != int32(i) {
+			t.Fatalf("s1[%d] clobbered by later Alloc: %d", i, s1[i])
+		}
+	}
+	a.Release(m0)
+	// After a release the same memory is handed out again.
+	s3 := a.Alloc(10)
+	if &s3[0] != &s1[0] {
+		t.Fatal("Release did not rewind the bump position")
+	}
+}
+
+func TestArenaAllocZero(t *testing.T) {
+	var a Arena
+	if s := a.Alloc(0); len(s) != 0 {
+		t.Fatalf("Alloc(0) len = %d", len(s))
+	}
+}
+
+// TestArenaChunksDoNotMove pins the core validity guarantee: allocating
+// far past the first chunk's capacity must not invalidate (move or
+// clobber) earlier allocations.
+func TestArenaChunksDoNotMove(t *testing.T) {
+	var a Arena
+	first := a.Alloc(arenaMinChunk / 2)
+	for i := range first {
+		first[i] = 7
+	}
+	ptr := &first[0]
+	for i := 0; i < 32; i++ {
+		big := a.Alloc(arenaMinChunk)
+		for j := range big {
+			big[j] = int32(i)
+		}
+	}
+	if &first[0] != ptr {
+		t.Fatal("earlier allocation moved")
+	}
+	for i, v := range first {
+		if v != 7 {
+			t.Fatalf("first[%d] = %d, want 7", i, v)
+		}
+	}
+}
+
+// TestArenaOversizedRequest: a request larger than the doubling schedule
+// still succeeds in one contiguous slice.
+func TestArenaOversizedRequest(t *testing.T) {
+	var a Arena
+	s := a.Alloc(10 * arenaMinChunk)
+	if len(s) != 10*arenaMinChunk {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+// TestArenaStackedMarks exercises nested frames the way the build
+// recursion uses them: child frames release back to their own mark
+// without disturbing the parent's live data.
+func TestArenaStackedMarks(t *testing.T) {
+	var a Arena
+	parent := a.Alloc(100)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for child := 0; child < 10; child++ {
+		m := a.Mark()
+		s := a.Alloc(5000) // forces chunk growth past the first chunk
+		for i := range s {
+			s[i] = int32(child)
+		}
+		a.Release(m)
+	}
+	for i, v := range parent {
+		if v != -1 {
+			t.Fatalf("parent[%d] = %d, want -1 (child frame leaked into parent)", i, v)
+		}
+	}
+}

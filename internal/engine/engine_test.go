@@ -173,9 +173,14 @@ func TestWorkspaceGrowPreservesInvariants(t *testing.T) {
 	w.Counts[3] = 0
 	w.Marks[5] = false
 	w.Queue = w.Queue[:0]
-	// Shrink then regrow within capacity: the tail must still be zeroed.
+	// Growing for a smaller n must not shrink (the build path refines
+	// subgraphs through a workspace sized by the global vertex count),
+	// and the tail must still be zeroed.
 	w.Grow(4)
 	checkInvariants(t, w, 4)
+	if len(w.Counts) != 16 {
+		t.Fatalf("Grow(4) shrank Counts to %d", len(w.Counts))
+	}
 	w.Grow(16)
 	checkInvariants(t, w, 16)
 	// Regrow past capacity reallocates (zero-valued fresh memory).
@@ -193,10 +198,13 @@ func TestWorkspacePoolRoundTrip(t *testing.T) {
 	PutWorkspace(w2)
 }
 
+// checkInvariants asserts the between-uses workspace invariants after a
+// Grow(n): indexed buffers are at least n long (Grow is extend-only) and
+// hold their zero/false values over their whole length.
 func checkInvariants(t *testing.T, w *Workspace, n int) {
 	t.Helper()
-	if len(w.Counts) != n || len(w.Marks) != n {
-		t.Fatalf("Counts/Marks len = %d/%d, want %d", len(w.Counts), len(w.Marks), n)
+	if len(w.Counts) < n || len(w.Marks) < n {
+		t.Fatalf("Counts/Marks len = %d/%d, want >= %d", len(w.Counts), len(w.Marks), n)
 	}
 	for i, c := range w.Counts {
 		if c != 0 {
@@ -208,8 +216,8 @@ func checkInvariants(t *testing.T, w *Workspace, n int) {
 			t.Fatalf("Marks[%d] = true, want false", i)
 		}
 	}
-	if len(w.Bits) != n {
-		t.Fatalf("Bits len = %d, want %d", len(w.Bits), n)
+	if len(w.Bits) < n {
+		t.Fatalf("Bits len = %d, want >= %d", len(w.Bits), n)
 	}
 	for i, m := range w.Bits {
 		if m {
@@ -219,5 +227,22 @@ func checkInvariants(t *testing.T, w *Workspace, n int) {
 	if len(w.Queue) != 0 || len(w.Touched) != 0 || len(w.Keys) != 0 || len(w.Frags) != 0 {
 		t.Fatalf("scratch slices not length 0: %d/%d/%d/%d",
 			len(w.Queue), len(w.Touched), len(w.Keys), len(w.Frags))
+	}
+	if len(w.LocalIdx) < n || len(w.ColorCount) < n || len(w.Gamma) < n {
+		t.Fatalf("LocalIdx/ColorCount/Gamma len = %d/%d/%d, want >= %d",
+			len(w.LocalIdx), len(w.ColorCount), len(w.Gamma), n)
+	}
+	for i := range w.LocalIdx {
+		if w.LocalIdx[i] != 0 || w.ColorCount[i] != 0 {
+			t.Fatalf("LocalIdx[%d]/ColorCount[%d] = %d/%d, want 0",
+				i, i, w.LocalIdx[i], w.ColorCount[i])
+		}
+	}
+	if len(w.IntsA) != 0 || len(w.IntsB) != 0 || len(w.IntsC) != 0 || len(w.Bytes) != 0 {
+		t.Fatalf("list buffers not length 0: %d/%d/%d/%d",
+			len(w.IntsA), len(w.IntsB), len(w.IntsC), len(w.Bytes))
+	}
+	if w.PairCount == nil || len(w.PairCount) != 0 {
+		t.Fatalf("PairCount = %v, want empty non-nil map", w.PairCount)
 	}
 }

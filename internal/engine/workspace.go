@@ -13,8 +13,22 @@ import "sync"
 // returning, including on the cancellation path):
 //
 //   - Counts[i] == 0 for all i < len(Counts)
-//   - Marks[i] == false for all i < len(Marks)
-//   - Queue, Touched, Keys, Frags have length 0 (capacity retained)
+//   - Marks[i] == false, Bits[i] == false for all i
+//   - LocalIdx[i] == 0, ColorCount[i] == 0 for all i
+//   - Queue, Touched, Keys, Frags, IntsA, IntsB, IntsC, Bytes have
+//     length 0 (capacity retained)
+//   - PairCount is empty (buckets retained)
+//   - Arena is fully released (every Mark matched by a Release)
+//
+// Gamma carries no invariant: it is write-before-read scratch.
+//
+// Consumers restore the zeroed/false invariants with the visited-list
+// trick — clear exactly the indices you set — so restores cost O(touched),
+// not O(n). List-typed buffers (IntsA..C, Keys, Bytes) must never hold
+// live data across a recursive call that also receives this workspace:
+// Grow and nested consumers reset them to length 0. The Arena is the one
+// field that IS safe to hold across recursion, because recursion depth
+// maps onto its Mark/Release stack.
 type Workspace struct {
 	// Counts is the per-vertex adjacency-count buffer (zeroed invariant).
 	Counts []int
@@ -33,24 +47,58 @@ type Workspace struct {
 	Keys []uint64
 	// Frags receives [start, end) cell fragments from a split.
 	Frags [][2]int
+	// LocalIdx is the subgraph-induction index table: vertex id (global
+	// or subgraph-local) -> local index+1; 0 = not in the subgraph
+	// (zeroed invariant).
+	LocalIdx []int32
+	// ColorCount counts vertices per color value (zeroed invariant).
+	// Color values are cell start offsets, so they are always < n.
+	ColorCount []int32
+	// Gamma is per-vertex int scratch with no invariant: consumers write
+	// every entry they later read (write-before-read).
+	Gamma []int
+	// IntsA, IntsB, IntsC are general length-0 int list buffers for
+	// transient vertex/color lists inside one non-recursive call.
+	IntsA, IntsB, IntsC []int
+	// Bytes is a length-0 byte list buffer for building descriptors and
+	// hash preimages inside one non-recursive call.
+	Bytes []byte
+	// PairCount counts edges per packed (color, color) pair during
+	// DivideS (empty-between-uses invariant; cleared with clear so the
+	// buckets are retained).
+	PairCount map[uint64]int32
+	// Arena backs the divide phase's transient CSR views (see Arena).
+	Arena Arena
 }
 
 // Grow ensures every buffer can hold an n-vertex graph's refinement
 // state without reallocating mid-run. Growing preserves the zeroed /
 // false invariants because append's fresh memory is zero-valued.
+//
+// Grow never shrinks: the build path sizes one workspace by the global
+// vertex count and then refines subgraphs of smaller n through the same
+// workspace (canon's leaf search calls Grow with the local size), while
+// the divide/combine layers keep indexing LocalIdx/ColorCount/Gamma by
+// global ids. Extend-only reslicing keeps both views valid.
 func (w *Workspace) Grow(n int) {
 	if cap(w.Counts) < n {
-		w.Counts = make([]int, 0, n)
+		w.Counts = append(make([]int, 0, n), w.Counts...)
 	}
-	w.Counts = w.Counts[:n]
+	if len(w.Counts) < n {
+		w.Counts = w.Counts[:n]
+	}
 	if cap(w.Marks) < n {
-		w.Marks = make([]bool, 0, n)
+		w.Marks = append(make([]bool, 0, n), w.Marks...)
 	}
-	w.Marks = w.Marks[:n]
+	if len(w.Marks) < n {
+		w.Marks = w.Marks[:n]
+	}
 	if cap(w.Bits) < n {
-		w.Bits = make([]bool, 0, n)
+		w.Bits = append(make([]bool, 0, n), w.Bits...)
 	}
-	w.Bits = w.Bits[:n]
+	if len(w.Bits) < n {
+		w.Bits = w.Bits[:n]
+	}
 	if cap(w.Queue) < n {
 		w.Queue = make([]int, 0, n)
 	}
@@ -67,6 +115,31 @@ func (w *Workspace) Grow(n int) {
 		w.Frags = make([][2]int, 0, 8)
 	}
 	w.Frags = w.Frags[:0]
+	if cap(w.LocalIdx) < n {
+		w.LocalIdx = append(make([]int32, 0, n), w.LocalIdx...)
+	}
+	if len(w.LocalIdx) < n {
+		w.LocalIdx = w.LocalIdx[:n]
+	}
+	if cap(w.ColorCount) < n {
+		w.ColorCount = append(make([]int32, 0, n), w.ColorCount...)
+	}
+	if len(w.ColorCount) < n {
+		w.ColorCount = w.ColorCount[:n]
+	}
+	if cap(w.Gamma) < n {
+		w.Gamma = make([]int, 0, n)
+	}
+	if len(w.Gamma) < n {
+		w.Gamma = w.Gamma[:n]
+	}
+	w.IntsA = w.IntsA[:0]
+	w.IntsB = w.IntsB[:0]
+	w.IntsC = w.IntsC[:0]
+	w.Bytes = w.Bytes[:0]
+	if w.PairCount == nil {
+		w.PairCount = make(map[uint64]int32)
+	}
 }
 
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}

@@ -89,6 +89,69 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromCSR wraps prebuilt CSR arrays as a Graph value without copying or
+// validating. offsets must have length n+1 with offsets[0] == 0 and each
+// row sorted ascending and mirror-consistent — exactly what InduceOffsets
+// and InduceAdj produce. The caller owns the arrays: the graph is valid
+// only while they stay alive and unmodified (arena-backed graphs become
+// invalid when their arena frame is released; use Clone to promote one).
+func FromCSR(offsets, adj []int32) Graph {
+	return Graph{offsets: offsets, adj: adj}
+}
+
+// Clone returns a self-contained copy of g with fresh backing arrays,
+// promoting an arena-backed view to an ordinary heap graph.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		offsets: append([]int32(nil), g.offsets...),
+		adj:     append([]int32(nil), g.adj...),
+	}
+}
+
+var k1 = &Graph{offsets: []int32{0, 0}}
+
+// K1 returns the one-vertex empty graph. It is a shared immutable
+// instance so callers that materialize many singleton subgraphs do not
+// allocate one each.
+func K1() *Graph { return k1 }
+
+// InduceOffsets computes the CSR offsets of the subgraph of g induced by
+// verts, writing them into offsets (length len(verts)+1) and returning
+// the induced adjacency length. verts must be ascending; idx is the
+// membership table: idx[v] == local index+1 for exactly the vertices in
+// verts and 0 everywhere else (the caller builds it and restores it to
+// zero afterwards — typically engine.Workspace.LocalIdx).
+func (g *Graph) InduceOffsets(verts []int32, idx []int32, offsets []int32) int {
+	off := int32(0)
+	offsets[0] = 0
+	for i, v := range verts {
+		for _, w := range g.neighbors32(int(v)) {
+			if idx[w] != 0 {
+				off++
+			}
+		}
+		offsets[i+1] = off
+	}
+	return int(off)
+}
+
+// InduceAdj fills adj (sized by InduceOffsets' return value) with the
+// induced adjacency, relabeled to local indices. Because verts is
+// ascending, the index map is monotone and every induced row comes out
+// sorted without any per-row sort — the property the whole arena build
+// path relies on.
+func (g *Graph) InduceAdj(verts []int32, idx []int32, adj []int32) {
+	p := 0
+	for _, v := range verts {
+		for _, w := range g.neighbors32(int(v)) {
+			if j := idx[w]; j != 0 {
+				adj[p] = j - 1
+				p++
+			}
+		}
+	}
+}
+
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges [][2]int) *Graph {
 	b := NewBuilder(n)

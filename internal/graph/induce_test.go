@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// induceCSR is the test harness around the two-call induction API: it
+// builds the idx table, runs InduceOffsets/InduceAdj, restores idx, and
+// wraps the result.
+func induceCSR(g *Graph, verts []int32, idx []int32) *Graph {
+	for i, v := range verts {
+		idx[v] = int32(i) + 1
+	}
+	offsets := make([]int32, len(verts)+1)
+	adj := make([]int32, g.InduceOffsets(verts, idx, offsets))
+	g.InduceAdj(verts, idx, adj)
+	for _, v := range verts {
+		idx[v] = 0
+	}
+	sub := FromCSR(offsets, adj)
+	return &sub
+}
+
+// TestInduceMatchesInducedSubgraph cross-checks the allocation-free
+// induction against the map-based reference on random graphs and random
+// vertex subsets.
+func TestInduceMatchesInducedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		for e := 0; e < 3*n; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		var vs []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				vs = append(vs, v)
+			}
+		}
+		sort.Ints(vs)
+		want, _ := g.InducedSubgraph(vs)
+		v32 := make([]int32, len(vs))
+		for i, v := range vs {
+			v32[i] = int32(v)
+		}
+		got := induceCSR(g, v32, make([]int32, n))
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: induced CSR differs from reference on %v", trial, vs)
+		}
+		// Rows must come out sorted without any per-row sort.
+		for v := 0; v < got.N(); v++ {
+			nb := got.Neighbors32(v)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] >= nb[i] {
+					t.Fatalf("trial %d: row %d not strictly ascending: %v", trial, v, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestInduceEmptyAndFull(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	idx := make([]int32, 4)
+	if sub := induceCSR(g, nil, idx); sub.N() != 0 || sub.M() != 0 {
+		t.Fatalf("empty induction: n=%d m=%d", sub.N(), sub.M())
+	}
+	full := induceCSR(g, []int32{0, 1, 2, 3}, idx)
+	if !full.Equal(g) {
+		t.Fatal("inducing on all vertices must reproduce the graph")
+	}
+}
+
+func TestFromCSRAndClone(t *testing.T) {
+	offsets := []int32{0, 1, 2}
+	adj := []int32{1, 0}
+	g := FromCSR(offsets, adj)
+	if g.N() != 2 || g.M() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("FromCSR: n=%d m=%d", g.N(), g.M())
+	}
+	c := g.Clone()
+	adj[0] = 0 // corrupt the caller-owned array
+	adj[1] = 1
+	if !c.HasEdge(0, 1) {
+		t.Fatal("Clone shares backing arrays with the source")
+	}
+}
+
+func TestK1(t *testing.T) {
+	g := K1()
+	if g.N() != 1 || g.M() != 0 {
+		t.Fatalf("K1: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Equal(FromEdges(1, nil)) {
+		t.Fatal("K1 differs from FromEdges(1, nil)")
+	}
+	if K1() != g {
+		t.Fatal("K1 should be a shared instance")
+	}
+}

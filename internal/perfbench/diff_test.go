@@ -156,7 +156,7 @@ func TestReadRejectsBadSchemaFixture(t *testing.T) {
 // stay schema-valid and self-diff clean, or the CI gate is comparing
 // against garbage.
 func TestCommittedBaseline(t *testing.T) {
-	f, err := ReadFile(filepath.Join("..", "..", "results", "BENCH_PR8.json"))
+	f, err := ReadFile(filepath.Join("..", "..", "results", "BENCH_PR9.json"))
 	if err != nil {
 		t.Fatalf("committed baseline: %v", err)
 	}
