@@ -15,6 +15,14 @@
 //	                   counter regressions still fail (they are
 //	                   deterministic, so any increase is a real change
 //	                   in search effort, not noise)
+//	-no-speedup-gate   skip the parallel-build speedup gate on the new
+//	                   file's par-* scenarios
+//
+// Besides the old-vs-new comparison, benchdiff gates the NEW file's
+// parallel-build speedup (the par-* scenarios' par_speedup field, see
+// perfbench.SpeedupGate): below 1.3x with 4+ workers fails; below 1.3x
+// on smaller machines or below 2.0x with 8+ workers warns; single-core
+// runs are skipped, since there is no parallelism to measure.
 //
 // Exit status: 0 — no regressions (or only warned ones); 1 — gating
 // regressions found; 2 — usage, I/O or schema error (including an
@@ -50,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	counterTol := fs.Float64("counter-tol", def.CounterTol, "relative tolerance on engine counters")
 	minReps := fs.Int("min-reps", def.MinReps, "minimum reps for wall/alloc verdicts (below: noise)")
 	warnTime := fs.Bool("warn-time", false, "wall/alloc regressions warn only; counter regressions still fail")
+	noSpeedup := fs.Bool("no-speedup-gate", false, "skip the parallel-build speedup gate on the new file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +92,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, res.Format())
 
+	speedupFailed := false
+	if !*noSpeedup {
+		for _, is := range perfbench.SpeedupGate(newF) {
+			level := "WARN"
+			if is.Fail {
+				level, speedupFailed = "FAIL", true
+			}
+			fmt.Fprintf(stderr, "benchdiff: %s: %s speedup %.2fx at %d workers — %s\n",
+				level, is.Name, is.Speedup, is.Workers, is.Why)
+		}
+	}
+	if speedupFailed {
+		return 1
+	}
 	if res.CounterRegressions > 0 {
 		fmt.Fprintf(stderr, "benchdiff: FAIL: %d counter regression(s) — deterministic search-effort increase\n",
 			res.CounterRegressions)

@@ -89,6 +89,23 @@ func TestUsageExitsTwo(t *testing.T) {
 	}
 }
 
+// TestSpeedupGateFailsSlowParScenario: a new file whose par scenario
+// records a 1.11x speedup at 8 workers must fail the speedup gate, and
+// -no-speedup-gate must bypass it.
+func TestSpeedupGateFailsSlowParScenario(t *testing.T) {
+	code, _, stderr := runDiff(t, fixture("base.json"), fixture("par_slow.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "speedup 1.11x at 8 workers") {
+		t.Fatalf("speedup failure not reported: %s", stderr)
+	}
+	code, _, stderr = runDiff(t, "-no-speedup-gate", fixture("base.json"), fixture("par_slow.json"))
+	if code != 0 {
+		t.Fatalf("-no-speedup-gate: exit %d (%s)", code, stderr)
+	}
+}
+
 // TestTighterToleranceFlags: with -time-tol 0.5 the slowed fixture's
 // 30% shift sits inside the band and passes.
 func TestTighterToleranceFlags(t *testing.T) {

@@ -20,7 +20,7 @@
 // (internal/perfbench) instead of the tables and writes a versioned
 // BENCH_<tag>.json artifact for cmd/benchdiff to compare:
 //
-//	benchtables -perfbench BENCH_PR9.json -perfbench-tag PR9
+//	benchtables -perfbench BENCH_PR10.json -perfbench-tag PR10
 //	benchtables -perfbench /tmp/BENCH_ci.json -perfbench-quick \
 //	            -profile-dir /tmp/pprof
 //

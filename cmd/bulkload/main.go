@@ -115,9 +115,10 @@ func main() {
 		Ctx:     ctx,
 		Workers: *workers,
 		Decode:  decoder(*format, *in),
-		Canon: func(ctx context.Context, g *graph.Graph, wrec *obs.Recorder) (string, error) {
+		Canon: func(ctx context.Context, g *graph.Graph, ws *dvicl.Workspace, wrec *obs.Recorder) (string, error) {
 			o := opt
 			o.Obs = wrec
+			o.Workspace = ws
 			start := time.Now()
 			cert, err := dvicl.CanonicalCertCtx(ctx, g, nil, o)
 			if d := time.Since(start); *slowBuild > 0 && d >= *slowBuild {

@@ -571,9 +571,10 @@ func (s *server) handleBulk(w http.ResponseWriter, r *http.Request) {
 			Ctx:     r.Context(),
 			Workers: s.bulkWorkers,
 			Decode:  decode,
-			Canon: func(ctx context.Context, g *dvicl.Graph, wrec *dvicl.MetricsRecorder) (string, error) {
+			Canon: func(ctx context.Context, g *dvicl.Graph, ws *dvicl.Workspace, wrec *dvicl.MetricsRecorder) (string, error) {
 				o := s.buildOpt
 				o.Obs = wrec
+				o.Workspace = ws
 				cert, err := dvicl.CanonicalCertCtx(ctx, g, nil, o)
 				return string(cert), err
 			},

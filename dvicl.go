@@ -73,6 +73,12 @@ type AutoTreeStats = core.Stats
 // Section 6.1 twin optimization).
 type Options = core.Options
 
+// Workspace is a reusable bundle of build-sized buffers. Long-lived
+// workers (e.g. pipeline canonicalizers) can check one out of the shared
+// pool once and thread it through many builds via Options.Workspace,
+// paying the pool round-trip per worker instead of per build.
+type Workspace = engine.Workspace
+
 // Budget bounds a build end to end: a whole-build deadline and node cap
 // (hard — the Ctx entry points return ErrBudgetExceeded) composed with
 // per-leaf bounds (soft — Tree.Truncated). Set it in Options.Budget.

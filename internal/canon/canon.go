@@ -9,6 +9,13 @@
 // The three tools differ chiefly in their target cell selector, so this
 // package exposes the three published policies and the benchmark harness
 // runs all of them, like Table 5 and Table 8 do.
+//
+// Concurrency: every search allocates its own per-call state struct and
+// touches shared memory only through the engine.Workspace it is handed
+// (refinement buffers and write-before-read scratch — never ws.Arena),
+// so concurrent searches over distinct workspaces are safe. This is what
+// lets core's work-stealing scheduler run a stolen leaf search in the
+// thief's workspace while the victim's arena frames stay open.
 package canon
 
 import (

@@ -54,10 +54,21 @@ type Options struct {
 	// leaving DivideI only — an ablation knob for benchmarking the value
 	// of DivideS. Results stay correct; trees just get coarser leaves.
 	DisableDivideS bool
-	// Workers enables parallel construction: subtrees of a divided node
-	// are independent, so up to Workers of them build concurrently.
-	// 0 or 1 means sequential. The resulting tree is identical either way.
+	// Workers enables parallel construction: the build starts a
+	// persistent pool of Workers goroutines with work-stealing deques
+	// (see sched.go), and subtrees of a divided node — which are fully
+	// independent — run as pool tasks. 0 or 1 means sequential. The
+	// resulting tree is byte-for-byte identical at every worker count.
 	Workers int
+	// Workspace, when non-nil, is the scratch workspace the build's
+	// primary worker uses instead of drawing one from the engine pool —
+	// callers that build in a tight loop (the bulk-ingest pipeline keeps
+	// one checked out per pipeline worker) skip the pool round-trip per
+	// Build. It is grown to the graph's size as needed, must not be
+	// touched by the caller while the build runs, and is returned in its
+	// documented between-uses state. Additional pool workers (Workers >
+	// 1) still draw their own workspaces from the engine pool.
+	Workspace *engine.Workspace
 	// Obs, when non-nil, receives per-phase wall times (refine, twins,
 	// divide, combine) and effort counters for the whole build, including
 	// every leaf search's. A nil recorder costs one predictable branch
@@ -271,8 +282,13 @@ func BuildCtx(ctx context.Context, g *graph.Graph, pi *coloring.Coloring, opt Op
 	}
 	budget := opt.effectiveBudget()
 	ctl := engine.NewCtl(ctx, budget)
-	ws := engine.GetWorkspace(n)
-	defer engine.PutWorkspace(ws)
+	ws := opt.Workspace
+	if ws == nil {
+		ws = engine.GetWorkspace(n)
+		defer engine.PutWorkspace(ws)
+	} else {
+		ws.Grow(n)
+	}
 	// A trace on the context redirects observations into its forwarding
 	// recorder: the request keeps its own deltas, the original opt.Obs
 	// (the trace's base) still sees every increment exactly once.
@@ -302,7 +318,14 @@ func BuildCtx(ctx context.Context, g *graph.Graph, pi *coloring.Coloring, opt Op
 	t := &Tree{g: g, colors: colors, leafOf: make([]int, n)}
 	b := &builder{t: t, opt: opt, budget: budget, ctl: ctl, tr: tr}
 	if opt.Workers > 1 {
-		b.sem = make(chan struct{}, opt.Workers-1)
+		// The pool outlives the root build call by construction: stop()
+		// runs after cl has returned, when every join has completed, so
+		// the deques are empty and every spawned goroutine exits. A
+		// canceled build stops just as promptly — pending tasks observe
+		// the latched error and become no-ops.
+		b.sched = newSched(opt.Workers, opt.Obs)
+		b.sched.start(n)
+		defer b.sched.stop()
 	}
 
 	// wk owns this goroutine's workspace and slab; the root subgraph's

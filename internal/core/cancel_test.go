@@ -28,7 +28,7 @@ func TestBuildCtxCancelPrompt(t *testing.T) {
 	g := hardGraph()
 	before := runtime.NumGoroutine()
 
-	for _, workers := range []int{0, 4} {
+	for _, workers := range []int{0, 4, 8} {
 		ctx, cancel := context.WithCancel(context.Background())
 		type outcome struct {
 			tree *Tree

@@ -6,7 +6,6 @@ import (
 	"encoding/binary"
 	"slices"
 	"sort"
-	"sync"
 	"time"
 
 	"dvicl/internal/canon"
@@ -128,19 +127,45 @@ func (b *builder) cl(sg *subgraph, wk *worker, ts *obs.TraceSpan) (*Node, error)
 	return nd, nil
 }
 
-// buildChildren recurses into the divided subgraphs, in parallel when the
-// builder has spare worker tokens. Subtrees are fully independent (they
-// share only read-only state; spawned goroutines draw their own
-// workspaces and slabs), and combineST re-sorts by certificate, so the
-// final tree is identical to the sequential one. On error it still waits
-// for every spawned subtree — cancellation latches in the shared ctl, so
-// siblings unwind promptly and no goroutine is leaked — and returns the
-// first error observed.
-func (b *builder) buildChildren(subs []*subgraph, wk *worker, ts *obs.TraceSpan) ([]*Node, error) {
-	nodes := make([]*Node, len(subs))
-	if b.sem == nil || len(subs) < 2 {
-		for i, child := range subs {
-			nd, err := b.cl(child, wk, ts)
+// buildChild materializes one divided child and builds its subtree,
+// bracketed in its own arena frame on wk: the child's CSR (and every
+// divide below it) is released as soon as its subtree is done, instead
+// of accumulating in the parent's frame for the sibling builds.
+func (b *builder) buildChild(ref childRef, wk *worker, ts *obs.TraceSpan) (*Node, error) {
+	mark := wk.ws.Arena.Mark()
+	defer wk.ws.Arena.Release(mark)
+	return b.cl(ref.materialize(wk), wk, ts)
+}
+
+// buildChildren recurses into the divided children. Sequentially when
+// the build has no worker pool (or the fanout is trivial); otherwise
+// every child becomes a task on this worker's deque — the worker then
+// helps the pool until its own join completes, so deep chains of binary
+// divides (push one, descend into the other) keep thieves fed without
+// this goroutine ever blocking idle.
+//
+// Subtrees are fully independent: they share only read-only state (the
+// global graph, colors, and the dividing frame's arena-backed CSRs,
+// which stay alive until the join completes) and each task runs on its
+// executing worker's own workspace and slab. Tasks fill their
+// divide-order slot in nodes, so the child order combineST sees is
+// identical to the sequential build's.
+//
+// On error the join still waits for every task: a failure latches in the
+// scheduler, tasks not yet started skip their builds and report the
+// latched error, and in-flight siblings unwind promptly at their next
+// ctl poll — no goroutine is leaked and the first error is returned.
+// (The old token-bucket version checked the error latch only after
+// spawning each child, so the inline-fallback path kept building
+// children after a sibling had already failed.)
+func (b *builder) buildChildren(refs []childRef, wk *worker, ts *obs.TraceSpan) ([]*Node, error) {
+	nodes := make([]*Node, len(refs))
+	if b.sched == nil || len(refs) < 2 {
+		if b.sched != nil && len(refs) > 0 {
+			b.opt.Obs.Inc(obs.WorkerInline)
+		}
+		for i, ref := range refs {
+			nd, err := b.buildChild(ref, wk, ts)
 			if err != nil {
 				return nil, err
 			}
@@ -148,55 +173,25 @@ func (b *builder) buildChildren(subs []*subgraph, wk *worker, ts *obs.TraceSpan)
 		}
 		return nodes, nil
 	}
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	for i, child := range subs {
-		select {
-		case b.sem <- struct{}{}:
-			b.opt.Obs.Inc(obs.WorkerSpawns)
-			wg.Add(1)
-			go func(i int, c *subgraph) {
-				defer wg.Done()
-				defer func() { <-b.sem }()
-				// The workspace must be sized by the GLOBAL vertex count,
-				// not the subgraph's: LocalIdx is indexed by original ids
-				// and ColorCount/Gamma by global colors.
-				cwk := &worker{ws: engine.GetWorkspace(b.t.g.N())}
-				nd, err := b.cl(c, cwk, ts)
-				engine.PutWorkspace(cwk.ws)
-				if err != nil {
-					setErr(err)
-					return
+	jn := &join{remaining: len(refs)}
+	tasks := make([]func(*worker), len(refs))
+	for i, ref := range refs {
+		i, ref := i, ref
+		tasks[i] = func(cwk *worker) {
+			err := b.sched.abortErr()
+			if err == nil {
+				var nd *Node
+				if nd, err = b.buildChild(ref, cwk, ts); err == nil {
+					nodes[i] = nd
 				}
-				nodes[i] = nd
-			}(i, child)
-		default:
-			b.opt.Obs.Inc(obs.WorkerInline)
-			nd, err := b.cl(child, wk, ts)
-			if err != nil {
-				setErr(err)
-			} else {
-				nodes[i] = nd
 			}
-		}
-		errMu.Lock()
-		stop := firstErr != nil
-		errMu.Unlock()
-		if stop {
-			break
+			b.sched.finish(jn, err)
 		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	b.opt.Obs.Add(obs.WorkerSpawns, int64(len(refs)))
+	b.sched.push(wk, tasks)
+	if err := b.sched.joinWait(jn, wk); err != nil {
+		return nil, err
 	}
 	return nodes, nil
 }
@@ -335,9 +330,7 @@ func leafCert(nd *Node, sg *subgraph, cells [][]int, b *builder, wk *worker) []b
 func (b *builder) combineST(nd *Node, wk *worker) {
 	span := b.opt.Obs.StartPhase(obs.PhaseCombineST)
 	defer span.End()
-	slices.SortStableFunc(nd.Children, func(x, y *Node) int {
-		return bytes.Compare(x.Cert, y.Cert)
-	})
+	b.sortChildren(nd.Children, wk)
 	// Recompute Verts as the union of children (expansion changes it).
 	total := 0
 	for _, c := range nd.Children {
@@ -389,6 +382,85 @@ func (b *builder) combineST(nd *Node, wk *worker) {
 	}
 	nd.Cert = wk.hash(body)
 	ws.Bytes = body[:0]
+}
+
+// nodeCertCmp orders tree nodes by their certificate bytes — the
+// CombineST sibling order.
+func nodeCertCmp(x, y *Node) int { return bytes.Compare(x.Cert, y.Cert) }
+
+const (
+	// parSortMin is the child count at which combineST's certificate sort
+	// fans out to the worker pool; below it a single stable sort wins.
+	// parSortChunk is the run length each task stable-sorts before the
+	// pairwise merge rounds.
+	parSortMin   = 2048
+	parSortChunk = 1024
+)
+
+// sortChildren sorts cs by certificate, stably. High-fanout nodes on a
+// parallel build use the pool: fixed-size chunks are stable-sorted as
+// tasks, then stably merged pairwise (ties take the left run, which
+// preceded the right in the original order) — by uniqueness of the
+// stable permutation, the result is byte-for-byte the permutation
+// slices.SortStableFunc would have produced, at any worker count.
+func (b *builder) sortChildren(cs []*Node, wk *worker) {
+	if b.sched == nil || len(cs) < parSortMin {
+		slices.SortStableFunc(cs, nodeCertCmp)
+		return
+	}
+	nchunks := (len(cs) + parSortChunk - 1) / parSortChunk
+	jn := &join{remaining: nchunks}
+	tasks := make([]func(*worker), nchunks)
+	for c := 0; c < nchunks; c++ {
+		chunk := cs[c*parSortChunk : min((c+1)*parSortChunk, len(cs))]
+		tasks[c] = func(*worker) {
+			slices.SortStableFunc(chunk, nodeCertCmp)
+			b.sched.finish(jn, nil)
+		}
+	}
+	b.sched.push(wk, tasks)
+	b.sched.joinWait(jn, wk) // sort tasks cannot fail
+
+	tmp := make([]*Node, len(cs))
+	src, dst := cs, tmp
+	for width := parSortChunk; width < len(cs); width *= 2 {
+		jn := &join{}
+		var tasks []func(*worker)
+		for lo := 0; lo < len(src); lo += 2 * width {
+			mid := min(lo+width, len(src))
+			hi := min(lo+2*width, len(src))
+			s, d := src, dst
+			lo := lo
+			tasks = append(tasks, func(*worker) {
+				mergeRuns(d[lo:hi], s[lo:mid], s[mid:hi])
+				b.sched.finish(jn, nil)
+			})
+		}
+		jn.remaining = len(tasks)
+		b.sched.push(wk, tasks)
+		b.sched.joinWait(jn, wk)
+		src, dst = dst, src
+	}
+	if len(cs) > 0 && &src[0] != &cs[0] {
+		copy(cs, src)
+	}
+}
+
+// mergeRuns stably merges the sorted runs a and b into dst
+// (len(dst) == len(a)+len(b)); equal certificates take from a first.
+func mergeRuns(dst, a, b []*Node) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if nodeCertCmp(a[i], b[j]) <= 0 {
+			dst[i+j] = a[i]
+			i++
+		} else {
+			dst[i+j] = b[j]
+			j++
+		}
+	}
+	copy(dst[i+j:], a[i:])
+	copy(dst[i+j:], b[j:])
 }
 
 // vertsByGamma returns a node's vertices ordered by their canonical label

@@ -32,9 +32,9 @@ type builder struct {
 	// ctl is nil for unbudgeted, uncancelable builds.
 	budget engine.Budget
 	ctl    *engine.Ctl
-	// sem is the token bucket bounding concurrent subtree builders
-	// (nil when sequential).
-	sem chan struct{}
+	// sched is the build's work-stealing worker pool (nil when
+	// sequential); see sched.go.
+	sched *sched
 	// tr is the request trace the build attaches its span tree to
 	// (nil when the build is untraced; every use is nil-safe).
 	tr *obs.Trace
@@ -214,10 +214,44 @@ func (b *builder) cellsOf(sg *subgraph, ws *engine.Workspace) [][]int {
 	return cells
 }
 
+// childRef names one child of a division without necessarily inducing
+// its subgraph yet. Singleton children are materialized eagerly (a K1
+// costs two slab slots); component children stay lazy — base + the
+// ascending local ids of the component — so that the induction itself
+// (the CSR build, the dominant per-child cost on wide divides, the
+// root's especially) runs inside the child's build task, on whichever
+// worker picks it up.
+//
+// Lifetime: base's CSR and the locals slice live in the dividing frame's
+// arena, which cl holds open until the whole child join completes —
+// arena chunks are append-only and never move, so a stealing worker can
+// read them concurrently with the owner allocating more.
+type childRef struct {
+	sg     *subgraph // non-nil: already materialized
+	base   *subgraph
+	locals []int32
+}
+
+// size returns the child's vertex count without materializing it.
+func (r childRef) size() int {
+	if r.sg != nil {
+		return len(r.sg.verts)
+	}
+	return len(r.locals)
+}
+
+// materialize induces the child into wk's arena (caller owns the frame).
+func (r childRef) materialize(wk *worker) *subgraph {
+	if r.sg != nil {
+		return r.sg
+	}
+	return induceChild(r.base, r.locals, wk)
+}
+
 // divideResult is the outcome of a successful DivideI or DivideS.
 type divideResult struct {
 	kind     DivideKind
-	children []*subgraph
+	children []childRef
 	// desc is the removal descriptor folded into the parent certificate:
 	// it records, in color terms, exactly which edges the division
 	// removed, so the certificate remains a complete isomorphism
@@ -265,14 +299,14 @@ func (b *builder) divideI(sg *subgraph, wk *worker) (res divideResult, ok bool) 
 		ws.Bits[l] = false
 	}
 
-	children := make([]*subgraph, 0, len(singletons)+2)
+	children := make([]childRef, 0, len(singletons)+2)
 	for _, l := range singletons {
 		child := wk.slab.sub()
 		verts := wk.slab.intSlice(1)
 		verts[0] = sg.verts[l]
 		child.verts = verts
 		child.local = graph.K1()
-		children = append(children, child)
+		children = append(children, childRef{sg: child})
 	}
 	// Descriptor: by equitability, a singleton cell {v} is adjacent to
 	// all-or-none of every other cell, so (color(v), neighbor colors)
@@ -313,7 +347,7 @@ func (b *builder) divideI(sg *subgraph, wk *worker) (res divideResult, ok bool) 
 		restSub := induceChild(sg, rest, wk)
 		members, starts := componentsOf(restSub.local, ws)
 		for k := 0; k+1 < len(starts); k++ {
-			children = append(children, induceChild(restSub, members[starts[k]:starts[k+1]], wk))
+			children = append(children, childRef{base: restSub, locals: members[starts[k]:starts[k+1]]})
 		}
 	}
 	if len(children) < 2 {
@@ -428,9 +462,9 @@ func (b *builder) divideS(sg *subgraph, wk *worker) (res divideResult, ok bool) 
 	ws.Bytes = d.buf[:0]
 	ws.Keys = removedPairs[:0]
 	cleanup()
-	children := make([]*subgraph, 0, len(starts)-1)
+	children := make([]childRef, 0, len(starts)-1)
 	for k := 0; k+1 < len(starts); k++ {
-		children = append(children, induceChild(reduced, members[starts[k]:starts[k+1]], wk))
+		children = append(children, childRef{base: reduced, locals: members[starts[k]:starts[k+1]]})
 	}
 	return divideResult{kind: DividedS, children: children, desc: desc}, true
 }

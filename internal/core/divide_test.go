@@ -50,7 +50,7 @@ func TestDivideIIsolatesSingletons(t *testing.T) {
 	}
 	sizes := map[int]int{}
 	for _, c := range div.children {
-		sizes[len(c.verts)]++
+		sizes[c.size()]++
 	}
 	if sizes[1] != 1 || sizes[4] != 1 || sizes[3] != 1 {
 		t.Fatalf("child sizes = %v", sizes)
@@ -106,7 +106,8 @@ func TestDivideSCliqueRemoval(t *testing.T) {
 	if len(div.children) != 4 {
 		t.Fatalf("children = %d, want 4 pendant edges", len(div.children))
 	}
-	for _, c := range div.children {
+	for _, ref := range div.children {
+		c := ref.materialize(wk)
 		if len(c.verts) != 2 || c.local.M() != 1 {
 			t.Fatalf("child = %v with %d edges", c.verts, c.local.M())
 		}

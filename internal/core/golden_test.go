@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -26,6 +27,9 @@ func goldenFamilies() map[string]func() (*graph.Graph, error) {
 		"had":    func() (*graph.Graph, error) { return gen.Hadamard(64), nil },
 		"mz-aug": func() (*graph.Graph, error) { return gen.MzAug(16), nil },
 		"pg2":    func() (*graph.Graph, error) { return gen.PG2(7) },
+		"par-forest": func() (*graph.Graph, error) {
+			return parForestGraph(), nil
+		},
 		"social": func() (*graph.Graph, error) {
 			return gen.Social(gen.SocialConfig{
 				Name: "perfbench", N: 150, M: 500,
@@ -41,14 +45,26 @@ func goldenFamilies() map[string]func() (*graph.Graph, error) {
 	}
 }
 
+// parForestGraph mirrors the perfbench par-forest quick instance: eight
+// pairwise non-isomorphic rigid CFI components in one graph.
+func parForestGraph() *graph.Graph {
+	parts := make([]*graph.Graph, 8)
+	for i := range parts {
+		parts[i] = gen.CFI(gen.RigidCubic(30, int64(100+i)), false)
+	}
+	return gen.DisjointUnion(parts...)
+}
+
 const goldenDir = "testdata/golden"
 
 // TestGoldenCertificates asserts that the canonical certificate of every
 // perfbench family instance is byte-identical to the pinned SHA-256 —
-// sequentially and with Workers=8 — so any refactor of the build path is
-// provably behavior-preserving. The fixtures were generated before the
-// PR 9 arena refactor; regenerate only for a deliberate certificate
-// format change (DVICL_REGEN_GOLDEN=1 go test -run TestGoldenCertificates).
+// sequentially and at several worker counts, including the odd (3) and
+// machine-shaped (NumCPU) ones, so any refactor of the build path or the
+// work-stealing scheduler is provably behavior-preserving. The fixtures
+// were generated before the PR 9 arena refactor; regenerate only for a
+// deliberate certificate format change
+// (DVICL_REGEN_GOLDEN=1 go test -run TestGoldenCertificates).
 func TestGoldenCertificates(t *testing.T) {
 	if os.Getenv("DVICL_REGEN_GOLDEN") == "1" {
 		regenGolden(t)
@@ -68,7 +84,7 @@ func TestGoldenCertificates(t *testing.T) {
 	for name := range fams {
 		t.Run(name, func(t *testing.T) {
 			g := loadGolden(t, name)
-			for _, workers := range []int{0, 8} {
+			for _, workers := range []int{0, 3, 8, runtime.NumCPU()} {
 				tree := Build(g, nil, Options{Workers: workers})
 				got := certSHA(tree.CanonicalCert())
 				if got != want[name] {

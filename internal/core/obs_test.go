@@ -64,12 +64,14 @@ func TestUnobservedBuildUnchanged(t *testing.T) {
 // parallel build (Workers > 1) produces byte-identical certificates,
 // identical Stats (including leaf search effort), and identical effort
 // counters as the sequential build — the only permitted difference is how
-// subtree builds were scheduled (worker_spawns / worker_inline). Run under
-// -race this also exercises the recorder's concurrent use.
+// subtree builds were scheduled (obs.SchedulerCounter). Run under -race
+// this also exercises the recorder's concurrent use.
 func TestParallelBuildIdenticalCounters(t *testing.T) {
-	schedulingCounters := map[string]bool{
-		obs.WorkerSpawns.String(): true,
-		obs.WorkerInline.String(): true,
+	schedulingCounters := map[string]bool{}
+	for _, c := range obs.AllCounters() {
+		if obs.SchedulerCounter(c) {
+			schedulingCounters[c.String()] = true
+		}
 	}
 	r := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 10; trial++ {

@@ -106,11 +106,20 @@ func (s *slab) bytesCopy(b []byte) []byte {
 }
 
 // worker bundles the per-goroutine scratch of one build worker: the
-// pooled engine workspace (transient — returned to the pool when the
-// worker finishes) and the slab (tree-lifetime — handed to the Tree).
-// A worker belongs to exactly one goroutine; buildChildren gives every
-// spawned subtree goroutine a fresh one.
+// engine workspace (transient — returned to the pool when the worker
+// finishes, unless the caller supplied it via Options.Workspace) and the
+// slab (tree-lifetime — handed to the Tree). A worker belongs to
+// exactly one goroutine for the whole build: worker 0 is the BuildCtx
+// caller, workers 1..Workers-1 are the scheduler's pool goroutines,
+// each holding its workspace for the build's lifetime rather than
+// drawing one per spawned subtree.
 type worker struct {
+	// id indexes the worker's deque in the scheduler (0 when sequential).
+	id   int
 	ws   *engine.Workspace
 	slab slab
+	// busy marks that the worker is inside a pool task, so nested task
+	// execution (joinWait helping) does not re-enter the PhaseWorkerBusy
+	// span. Only the owning goroutine touches it.
+	busy bool
 }

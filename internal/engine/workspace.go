@@ -5,9 +5,14 @@ import "sync"
 // Workspace is the reusable scratch memory for one goroutine's
 // refinement and search work: the 1-WL refinement buffers that were
 // previously allocated fresh on every Refine call. Ownership rule: a
-// Workspace belongs to exactly one goroutine at a time — callers that
-// fan out (core.buildChildren, pipeline workers) get one workspace per
-// worker, never share one across concurrent refinements.
+// Workspace belongs to exactly one goroutine at a time — long-lived
+// workers (core's persistent scheduler pool, pipeline canonicalizers,
+// the ssm query Index) each own one for their whole lifetime and never
+// share it across concurrent refinements. The one sanctioned form of
+// sharing is read-only: Arena-backed CSR views may be read by another
+// worker (core's stolen child builds read the victim's arena), which is
+// safe because arena chunks are append-only and never move, and the
+// owner keeps the frame open until the reader has joined.
 //
 // Invariants between uses (every consumer restores them before
 // returning, including on the cancellation path):

@@ -316,3 +316,48 @@ func MzAug(k int) *graph.Graph {
 	}
 	return b.Build()
 }
+
+// DisjointUnion places the given graphs side by side on one shared
+// vertex range, with no edges between parts; part i's vertex v becomes
+// global vertex (sum of earlier part sizes) + v. The top-level DivideI
+// splits the union into one component per part, so the family is the
+// embarrassingly parallel base case a build worker pool must turn into
+// near-linear speedup — the par-forest perfbench scenario unions
+// non-isomorphic rigid CFI components.
+func DisjointUnion(parts ...*graph.Graph) *graph.Graph {
+	total := 0
+	for _, p := range parts {
+		total += p.N()
+	}
+	b := graph.NewBuilder(total)
+	off := 0
+	for _, p := range parts {
+		for v := 0; v < p.N(); v++ {
+			for _, w := range p.NeighborSlice(v) {
+				if w > v {
+					b.AddEdge(off+v, off+w)
+				}
+			}
+		}
+		off += p.N()
+	}
+	return b.Build()
+}
+
+// CompleteBinaryTree builds the complete binary tree of the given depth:
+// 2^(depth+1)-1 vertices, vertex 0 the root, vertex v's parent (v-1)/2.
+// Under DviCL it is the adversarial opposite of a forest: equitable
+// refinement colors vertices by level, DivideI isolates the unique
+// top-level vertex and leaves the two half-trees as components, and each
+// half-tree repeats the pattern — a depth-long chain of binary divides
+// with no wide fanout anywhere. Fan-out-only parallelism serializes on
+// it; only work-stealing (one child left on the deque per divide) keeps
+// more than one worker busy.
+func CompleteBinaryTree(depth int) *graph.Graph {
+	n := 1<<(depth+1) - 1
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, (v-1)/2)
+	}
+	return b.Build()
+}

@@ -44,8 +44,15 @@ const (
 	DivideSCalls       // DivideS attempts (Algorithm 3)
 	LeafSearches       // non-singleton leaves labeled by the leaf engine
 	TwinVertsCollapsed // vertices removed by twin simplification (§6.1)
-	WorkerSpawns       // subtree builds handed to a worker goroutine
-	WorkerInline       // subtree builds run inline (no free worker token)
+	WorkerSpawns       // subtree build tasks pushed onto the scheduler deques
+	WorkerInline       // divided nodes whose children built inline (tiny fanout)
+
+	// internal/core scheduler — work-stealing effort. These (plus the two
+	// above) are scheduling counters: their values vary with worker count
+	// and OS timing even though the resulting tree does not. See
+	// SchedulerCounter.
+	SchedSteals         // tasks taken from another worker's deque
+	SchedDequeHighWater // deepest any single deque got during the build
 
 	// internal/ssm — symmetric subgraph matching.
 	SSMQueries        // Count/Enumerate/PatternKey calls answered
@@ -108,23 +115,26 @@ var counterNames = [numCounters]string{
 	TwinVertsCollapsed: "twin_verts_collapsed",
 	WorkerSpawns:       "worker_spawns",
 	WorkerInline:       "worker_inline",
-	SSMQueries:         "ssm_queries",
-	SSMLeafCandidates:  "ssm_leaf_candidates",
-	SSMLeafPruned:      "ssm_leaf_pruned",
-	IndexAdds:          "index_adds",
-	IndexLookups:       "index_lookups",
-	CertCacheHits:      "cert_cache_hits",
-	CertCacheMisses:    "cert_cache_misses",
-	WALAppends:         "wal_appends",
-	WALReplayed:        "wal_replayed",
-	SnapshotsWritten:   "snapshots_written",
-	HTTPRequests:       "http_requests",
-	HTTPErrors:         "http_errors",
-	HTTPThrottled:      "http_throttled",
-	IndexAddDuplicate:  "index_add_duplicate",
-	BulkRecords:        "bulk_records",
-	BulkDecodeErrors:   "bulk_decode_errors",
-	IndexCanceled:      "index_canceled",
+
+	SchedSteals:         "sched_steals",
+	SchedDequeHighWater: "sched_deque_high_water",
+	SSMQueries:          "ssm_queries",
+	SSMLeafCandidates:   "ssm_leaf_candidates",
+	SSMLeafPruned:       "ssm_leaf_pruned",
+	IndexAdds:           "index_adds",
+	IndexLookups:        "index_lookups",
+	CertCacheHits:       "cert_cache_hits",
+	CertCacheMisses:     "cert_cache_misses",
+	WALAppends:          "wal_appends",
+	WALReplayed:         "wal_replayed",
+	SnapshotsWritten:    "snapshots_written",
+	HTTPRequests:        "http_requests",
+	HTTPErrors:          "http_errors",
+	HTTPThrottled:       "http_throttled",
+	IndexAddDuplicate:   "index_add_duplicate",
+	BulkRecords:         "bulk_records",
+	BulkDecodeErrors:    "bulk_decode_errors",
+	IndexCanceled:       "index_canceled",
 
 	TreeStoreMemHits:        "treestore_mem_hits",
 	TreeStoreDiskHits:       "treestore_disk_hits",
@@ -147,20 +157,46 @@ func (c Counter) String() string {
 	return "unknown_counter"
 }
 
+// SchedulerCounter reports whether c measures scheduling effort rather
+// than algorithmic effort. Scheduler counters (task spawns, steals,
+// deque depth) legitimately vary with the worker count and with OS
+// timing; every other counter fires a fixed number of times for a given
+// (graph, options) pair no matter how the subtrees were scheduled.
+// Determinism checks — "same counters at every worker count" — must
+// compare all counters except these.
+func SchedulerCounter(c Counter) bool {
+	switch c {
+	case WorkerSpawns, WorkerInline, SchedSteals, SchedDequeHighWater:
+		return true
+	}
+	return false
+}
+
+// AllCounters returns every defined counter in declaration order, for
+// callers that compare or copy recorders counter-by-counter.
+func AllCounters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
 // Phase identifies one timed span kind of the pipeline.
 type Phase int
 
 // The phase set: one per algorithm of the paper plus whole-build and
 // whole-query spans.
 const (
-	PhaseBuild     Phase = iota // one whole DviCL Build
-	PhaseRefine                 // initial equitable refinement (Alg. 1 line 1)
-	PhaseTwins                  // twin detection + expansion (§6.1)
-	PhaseDivideI                // Algorithm 2
-	PhaseDivideS                // Algorithm 3
-	PhaseCombineCL              // Algorithm 4 (includes the leaf search)
-	PhaseCombineST              // Algorithm 5
-	PhaseSSMQuery               // one SSM count/enumerate/key query
+	PhaseBuild      Phase = iota // one whole DviCL Build
+	PhaseRefine                  // initial equitable refinement (Alg. 1 line 1)
+	PhaseTwins                   // twin detection + expansion (§6.1)
+	PhaseDivideI                 // Algorithm 2
+	PhaseDivideS                 // Algorithm 3
+	PhaseCombineCL               // Algorithm 4 (includes the leaf search)
+	PhaseCombineST               // Algorithm 5
+	PhaseWorkerBusy              // time a build worker spent executing pool tasks
+	PhaseSSMQuery                // one SSM count/enumerate/key query
 
 	// Serving-layer phases (GraphIndex, internal/store, cmd/indexd).
 	PhaseIndexAdd    // one GraphIndex.Add (certificate + WAL append)
@@ -186,6 +222,7 @@ var phaseNames = [numPhases]string{
 	PhaseDivideS:       "divide_s",
 	PhaseCombineCL:     "combine_cl",
 	PhaseCombineST:     "combine_st",
+	PhaseWorkerBusy:    "worker_busy",
 	PhaseSSMQuery:      "ssm_query",
 	PhaseIndexAdd:      "index_add",
 	PhaseIndexLookup:   "index_lookup",

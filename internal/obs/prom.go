@@ -59,25 +59,28 @@ var counterHelp = [numCounters]string{
 	DivideSCalls:       "DivideS attempts (Algorithm 3).",
 	LeafSearches:       "Non-singleton leaves labeled by the leaf engine.",
 	TwinVertsCollapsed: "Vertices removed by twin simplification.",
-	WorkerSpawns:       "Subtree builds handed to a worker goroutine.",
-	WorkerInline:       "Subtree builds run inline (no free worker token).",
-	SSMQueries:         "SSM count/enumerate/key queries answered.",
-	SSMLeafCandidates:  "Candidate images generated at SSM leaf base cases.",
-	SSMLeafPruned:      "SM embeddings rejected by the symmetry check.",
-	IndexAdds:          "GraphIndex.Add calls.",
-	IndexLookups:       "GraphIndex.Lookup calls.",
-	CertCacheHits:      "Certificate LRU cache hits (DviCL build skipped).",
-	CertCacheMisses:    "Certificate LRU cache misses (DviCL build ran).",
-	WALAppends:         "Records appended to the index WAL.",
-	WALReplayed:        "WAL records replayed at index open.",
-	SnapshotsWritten:   "Snapshot compactions completed.",
-	HTTPRequests:       "HTTP requests received (all endpoints).",
-	HTTPErrors:         "HTTP responses with status >= 400 (includes throttled 503s).",
-	HTTPThrottled:      "503s issued by the concurrency limiter.",
-	IndexAddDuplicate:  "Adds that hit an existing isomorphism class.",
-	BulkRecords:        "Records read from bulk-ingest streams.",
-	BulkDecodeErrors:   "Bulk records rejected by the decoder.",
-	IndexCanceled:      "Builds aborted by request-context cancellation.",
+	WorkerSpawns:       "Subtree build tasks pushed onto the scheduler deques.",
+	WorkerInline:       "Divided nodes whose children were built inline (tiny fanout).",
+
+	SchedSteals:         "Build tasks taken from another worker's deque.",
+	SchedDequeHighWater: "Deepest any single scheduler deque got during a build.",
+	SSMQueries:          "SSM count/enumerate/key queries answered.",
+	SSMLeafCandidates:   "Candidate images generated at SSM leaf base cases.",
+	SSMLeafPruned:       "SM embeddings rejected by the symmetry check.",
+	IndexAdds:           "GraphIndex.Add calls.",
+	IndexLookups:        "GraphIndex.Lookup calls.",
+	CertCacheHits:       "Certificate LRU cache hits (DviCL build skipped).",
+	CertCacheMisses:     "Certificate LRU cache misses (DviCL build ran).",
+	WALAppends:          "Records appended to the index WAL.",
+	WALReplayed:         "WAL records replayed at index open.",
+	SnapshotsWritten:    "Snapshot compactions completed.",
+	HTTPRequests:        "HTTP requests received (all endpoints).",
+	HTTPErrors:          "HTTP responses with status >= 400 (includes throttled 503s).",
+	HTTPThrottled:       "503s issued by the concurrency limiter.",
+	IndexAddDuplicate:   "Adds that hit an existing isomorphism class.",
+	BulkRecords:         "Records read from bulk-ingest streams.",
+	BulkDecodeErrors:    "Bulk records rejected by the decoder.",
+	IndexCanceled:       "Builds aborted by request-context cancellation.",
 
 	TreeStoreMemHits:        "Tree-store gets served from the decoded-tree memory cache.",
 	TreeStoreDiskHits:       "Tree-store gets served by decoding an on-disk record.",

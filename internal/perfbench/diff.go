@@ -105,8 +105,9 @@ func Diff(oldF, newF *File, th Thresholds) (*Result, error) {
 		return nil, fmt.Errorf("new file: %w", err)
 	}
 	if oldF.Mode != newF.Mode {
-		return nil, fmt.Errorf("perfbench: cannot diff %s-mode file against %s-mode file (different instance sizes)",
-			oldF.Mode, newF.Mode)
+		return nil, fmt.Errorf(
+			"perfbench: refusing to diff %s-mode %q against %s-mode %q: quick and full runs use different instance sizes, so every counter and time differs by construction, not by regression — re-run one side with the other's mode (perfbench -quick matches the CI baseline)",
+			oldF.Mode, oldF.Tag, newF.Mode, newF.Tag)
 	}
 	r := &Result{OldTag: oldF.Tag, NewTag: newF.Tag, Mode: oldF.Mode}
 
@@ -252,6 +253,51 @@ func minOf(xs []int64) int64 {
 		}
 	}
 	return m
+}
+
+// SpeedupIssue is one parallel-build speedup finding from SpeedupGate.
+type SpeedupIssue struct {
+	Name    string
+	Workers int
+	Speedup float64
+	// Fail distinguishes a gating failure from a warning.
+	Fail bool
+	Why  string
+}
+
+// SpeedupGate checks the par-* scenarios of a single file (CI applies it
+// to the new side only — speedup is a property of the current code, not
+// a delta) against the expectations of the work-stealing scheduler:
+//
+//   - ParWorkers < 2 (single-core machine): skipped entirely — there is
+//     no parallelism to measure, and a ratio of ~1.0 is correct there.
+//   - speedup < 1.3× at 2–3 workers: warning (small machines leave
+//     little headroom after the serial divide prefix).
+//   - speedup < 1.3× at ≥ 4 workers: failure — the pool is not pulling
+//     its weight and something serialized.
+//   - speedup < 2.0× at ≥ 8 workers: warning (scaling fell off early).
+//
+// Scenarios without Par* fields (all non-par scenarios, and artifacts
+// predating the fields) are ignored.
+func SpeedupGate(f *File) []SpeedupIssue {
+	var out []SpeedupIssue
+	for _, s := range f.Scenarios {
+		if s.ParWorkers < 2 {
+			continue
+		}
+		switch {
+		case s.ParSpeedup < 1.3 && s.ParWorkers >= 4:
+			out = append(out, SpeedupIssue{s.Name, s.ParWorkers, s.ParSpeedup, true,
+				"below 1.3x with 4+ workers: the parallel build is not scaling"})
+		case s.ParSpeedup < 1.3:
+			out = append(out, SpeedupIssue{s.Name, s.ParWorkers, s.ParSpeedup, false,
+				"below 1.3x (few workers; little headroom past the serial divide prefix)"})
+		case s.ParSpeedup < 2.0 && s.ParWorkers >= 8:
+			out = append(out, SpeedupIssue{s.Name, s.ParWorkers, s.ParSpeedup, false,
+				"below 2.0x with 8+ workers: scaling fell off early"})
+		}
+	}
+	return out
 }
 
 // Format renders the result as an aligned human-readable report.

@@ -146,6 +146,62 @@ func TestDiffMissingScenario(t *testing.T) {
 	}
 }
 
+// TestSpeedupGateTiers pins the gate's worker-count tiers: single-core
+// runs are skipped (there is no parallelism to measure on that
+// machine), small machines warn, 4+ workers fail below 1.3x, and 8+
+// workers additionally warn below 2.0x.
+func TestSpeedupGateTiers(t *testing.T) {
+	mk := func(workers int, speedup float64) Scenario {
+		return Scenario{
+			Name: "par-x", ParWorkers: workers,
+			ParSerialNs: 1000, ParParallelNs: 1000, ParSpeedup: speedup,
+		}
+	}
+	cases := []struct {
+		name    string
+		sc      Scenario
+		issues  int
+		failing bool
+	}{
+		{"no par fields", Scenario{Name: "cfi"}, 0, false},
+		{"single core skipped", mk(1, 1.0), 0, false},
+		{"two workers slow warns", mk(2, 1.1), 1, false},
+		{"two workers ok", mk(2, 1.5), 0, false},
+		{"four workers slow fails", mk(4, 1.2), 1, true},
+		{"eight workers mediocre warns", mk(8, 1.7), 1, false},
+		{"eight workers ok", mk(8, 2.5), 0, false},
+	}
+	for _, tc := range cases {
+		f := &File{Scenarios: []Scenario{tc.sc}}
+		issues := SpeedupGate(f)
+		if len(issues) != tc.issues {
+			t.Fatalf("%s: %d issues (%+v), want %d", tc.name, len(issues), issues, tc.issues)
+		}
+		if tc.issues > 0 && issues[0].Fail != tc.failing {
+			t.Fatalf("%s: fail=%v, want %v (%s)", tc.name, issues[0].Fail, tc.failing, issues[0].Why)
+		}
+	}
+}
+
+// TestParFixtureRoundTrips: the par_* fields survive the strict decode
+// and validation, and a baseline without them still reads (base.json
+// has no par scenarios — the omitempty contract).
+func TestParFixtureRoundTrips(t *testing.T) {
+	f := load(t, "par_slow.json")
+	var par *Scenario
+	for i := range f.Scenarios {
+		if f.Scenarios[i].ParWorkers != 0 {
+			par = &f.Scenarios[i]
+		}
+	}
+	if par == nil || par.ParWorkers != 8 || par.ParSpeedup != 1.11 {
+		t.Fatalf("par scenario not decoded: %+v", par)
+	}
+	if _, err := Diff(load(t, "base.json"), f, DefaultThresholds()); err != nil {
+		t.Fatalf("diff against par-less baseline: %v", err)
+	}
+}
+
 func TestReadRejectsBadSchemaFixture(t *testing.T) {
 	if _, err := ReadFile(filepath.Join("testdata", "bad_schema.json")); err == nil {
 		t.Fatal("schema 99 fixture accepted")
@@ -156,7 +212,7 @@ func TestReadRejectsBadSchemaFixture(t *testing.T) {
 // stay schema-valid and self-diff clean, or the CI gate is comparing
 // against garbage.
 func TestCommittedBaseline(t *testing.T) {
-	f, err := ReadFile(filepath.Join("..", "..", "results", "BENCH_PR9.json"))
+	f, err := ReadFile(filepath.Join("..", "..", "results", "BENCH_PR10.json"))
 	if err != nil {
 		t.Fatalf("committed baseline: %v", err)
 	}

@@ -89,6 +89,18 @@ type Scenario struct {
 	// PhasesNs is each obs phase's total time in ns for the last rep
 	// (informational — wall-clock, so never gated).
 	PhasesNs map[string]int64 `json:"phases_ns,omitempty"`
+
+	// ParWorkers, ParSerialNs, ParParallelNs and ParSpeedup are recorded
+	// only by the par-* scenarios: each rep builds the same graph at
+	// Workers=1 and Workers=ParWorkers (the machine's CPU count), the
+	// medians of each land here, and ParSpeedup = ParSerialNs /
+	// ParParallelNs. cmd/benchdiff's speedup gate reads them from the new
+	// file alone, and the fields are omitted when zero, so artifacts that
+	// predate them stay schema-valid and comparable.
+	ParWorkers    int     `json:"par_workers,omitempty"`
+	ParSerialNs   int64   `json:"par_serial_ns,omitempty"`
+	ParParallelNs int64   `json:"par_parallel_ns,omitempty"`
+	ParSpeedup    float64 `json:"par_speedup,omitempty"`
 }
 
 // Validate checks every schema invariant of f:
@@ -98,6 +110,8 @@ type Scenario struct {
 //   - per scenario: Reps ≥ 1, len(WallNs) == Reps, wall times ≥ 0,
 //     MedianWallNs equal to the recomputed median of WallNs,
 //     Allocs/Bytes ≥ 0, Counters present with non-negative values
+//   - per scenario, when any Par* field is set: ParWorkers ≥ 1, both
+//     median times ≥ 1ns, and ParSpeedup > 0
 //
 // Write refuses to emit a file that fails these; Read refuses to return
 // one.
@@ -153,6 +167,12 @@ func Validate(f *File) error {
 		for name, v := range s.Counters {
 			if v < 0 {
 				return fmt.Errorf("perfbench: scenario %q: counter %s negative (%d)", s.Name, name, v)
+			}
+		}
+		if s.ParWorkers != 0 || s.ParSerialNs != 0 || s.ParParallelNs != 0 || s.ParSpeedup != 0 {
+			if s.ParWorkers < 1 || s.ParSerialNs < 1 || s.ParParallelNs < 1 || s.ParSpeedup <= 0 {
+				return fmt.Errorf("perfbench: scenario %q: partial parallel-speedup record (workers %d, serial %dns, parallel %dns, speedup %g)",
+					s.Name, s.ParWorkers, s.ParSerialNs, s.ParParallelNs, s.ParSpeedup)
 			}
 		}
 	}

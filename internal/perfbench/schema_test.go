@@ -54,6 +54,12 @@ func TestValidateRejections(t *testing.T) {
 		{"negative allocs", func(f *File) { f.Scenarios[0].Allocs = -1 }, "negative allocs"},
 		{"nil counters", func(f *File) { f.Scenarios[0].Counters = nil }, "missing counters"},
 		{"negative counter", func(f *File) { f.Scenarios[0].Counters["search_nodes"] = -1 }, "negative"},
+		{"partial par record", func(f *File) { f.Scenarios[0].ParWorkers = 8 }, "partial parallel-speedup"},
+		{"par speedup missing", func(f *File) {
+			f.Scenarios[0].ParWorkers = 8
+			f.Scenarios[0].ParSerialNs = 100
+			f.Scenarios[0].ParParallelNs = 25
+		}, "partial parallel-speedup"},
 	}
 	for _, tc := range cases {
 		f := validFile()
@@ -220,7 +226,7 @@ func TestStableCountersDropsVarying(t *testing.T) {
 
 func TestScenarioNames(t *testing.T) {
 	names := ScenarioNames()
-	want := []string{"cfi", "grid-w", "had", "mz-aug", "pg2", "social-ingest", "symq"}
+	want := []string{"cfi", "grid-w", "had", "mz-aug", "par-cfi", "par-forest", "pg2", "social-ingest", "symq"}
 	if len(names) != len(want) {
 		t.Fatalf("suite = %v, want %v", names, want)
 	}

@@ -1,6 +1,7 @@
 package perfbench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -10,9 +11,11 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"dvicl/internal/bench"
 	"dvicl/internal/core"
+	"dvicl/internal/engine"
 	"dvicl/internal/gen"
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
@@ -45,11 +48,17 @@ type Options struct {
 // spec is one pinned suite scenario: a setup step (not timed — graph or
 // record construction) returning the work function measured per rep.
 // The work function must be deterministic for a fixed mode: the suite
-// runs everything sequentially so the recorded counters are exact.
+// runs everything sequentially so the recorded counters are exact (the
+// par-* scenarios run parallel builds internally, but record the serial
+// run's counters after checking the parallel run matched them).
 type spec struct {
 	name     string
 	paperRef string
 	setup    func(quick bool) (work func(rec *obs.Recorder) error, err error)
+	// finish, when non-nil, runs after the measured reps with the
+	// aggregated Scenario, letting a spec attach metrics the generic
+	// harness does not compute (the par-* speedup fields).
+	finish func(sc *Scenario) error
 }
 
 // buildSpec is the common shape of the family scenarios: construct the
@@ -70,6 +79,68 @@ func buildSpec(name, paperRef string, mk func(quick bool) (*graph.Graph, error))
 				}
 				return nil
 			}, nil
+		},
+	}
+}
+
+// parSpec is the shape of the par-* scenarios, the gated speedup
+// measurement of the work-stealing parallel build: each rep builds the
+// same graph at Workers=1 and at Workers=NumCPU, timing each, and fails
+// outright if the certificates or any non-scheduler counter differ —
+// the determinism contract, enforced on every benchmark run. The rep's
+// recorded counters are the serial run's (exact, machine-independent);
+// the per-side times aggregate into the Par* fields via finish, where
+// cmd/benchdiff's speedup gate reads them.
+func parSpec(name, paperRef string, mk func(quick bool) (*graph.Graph, error)) spec {
+	workers := runtime.NumCPU()
+	var serialNs, parallelNs []int64
+	return spec{
+		name:     name,
+		paperRef: paperRef,
+		setup: func(quick bool) (func(rec *obs.Recorder) error, error) {
+			g, err := mk(quick)
+			if err != nil {
+				return nil, err
+			}
+			serialNs, parallelNs = serialNs[:0], parallelNs[:0]
+			return func(rec *obs.Recorder) error {
+				recS, recP := obs.New(), obs.New()
+				t0 := time.Now()
+				serial := core.Build(g, nil, core.Options{Workers: 1, Obs: recS})
+				dSerial := time.Since(t0)
+				t1 := time.Now()
+				parallel := core.Build(g, nil, core.Options{Workers: workers, Obs: recP})
+				dParallel := time.Since(t1)
+				if !bytes.Equal(serial.CanonicalCert(), parallel.CanonicalCert()) {
+					return fmt.Errorf("perfbench: %s: parallel certificate differs from serial", name)
+				}
+				for _, c := range obs.AllCounters() {
+					if obs.SchedulerCounter(c) {
+						continue
+					}
+					if recS.Counter(c) != recP.Counter(c) {
+						return fmt.Errorf("perfbench: %s: counter %s: serial %d, parallel %d",
+							name, c, recS.Counter(c), recP.Counter(c))
+					}
+					rec.Add(c, recS.Counter(c))
+				}
+				serialNs = append(serialNs, int64(dSerial))
+				parallelNs = append(parallelNs, int64(dParallel))
+				return nil
+			}, nil
+		},
+		finish: func(sc *Scenario) error {
+			// Drop the warmup rep's sample (work ran Reps+1 times).
+			s, p := serialNs[len(serialNs)-sc.Reps:], parallelNs[len(parallelNs)-sc.Reps:]
+			sc.ParWorkers = workers
+			sc.ParSerialNs = median(s)
+			sc.ParParallelNs = median(p)
+			if sc.ParParallelNs < 1 || sc.ParSerialNs < 1 {
+				return fmt.Errorf("perfbench: %s: degenerate parallel timing (serial %dns, parallel %dns)",
+					sc.Name, sc.ParSerialNs, sc.ParParallelNs)
+			}
+			sc.ParSpeedup = float64(sc.ParSerialNs) / float64(sc.ParParallelNs)
+			return nil
 		},
 	}
 }
@@ -119,6 +190,33 @@ func suite() []spec {
 			}
 			return gen.PG2(q)
 		}),
+		// par-cfi is the issue's "hard single component" speedup case:
+		// one CFI graph whose parallelism comes from the divide cascade,
+		// not from independent components.
+		parSpec("par-cfi", "Parallel build speedup, single hard component (cfi family)",
+			func(quick bool) (*graph.Graph, error) {
+				k := 200
+				if quick {
+					k = 60
+				}
+				return gen.CFI(gen.RigidCubic(k, 41), false), nil
+			}),
+		// par-forest is the embarrassingly parallel case: eight pairwise
+		// non-isomorphic rigid CFI components whose root divide hands one
+		// independent subtree per component to the scheduler. The quick
+		// instance is pinned by core's golden par-forest fixture.
+		parSpec("par-forest", "Parallel build speedup, independent components (CFI forest)",
+			func(quick bool) (*graph.Graph, error) {
+				k := 80
+				if quick {
+					k = 30
+				}
+				parts := make([]*graph.Graph, 8)
+				for i := range parts {
+					parts[i] = gen.CFI(gen.RigidCubic(k, int64(100+i)), false)
+				}
+				return gen.DisjointUnion(parts...), nil
+			}),
 		socialIngestSpec(),
 		symqSpec(),
 	}
@@ -157,8 +255,8 @@ func socialIngestSpec() spec {
 				report, err := pipeline.Run(pipeline.Config{
 					Workers: 1,
 					Decode:  graph.FromGraph6,
-					Canon: func(ctx context.Context, g *graph.Graph, wrec *obs.Recorder) (string, error) {
-						t, err := core.BuildCtx(ctx, g, nil, core.Options{Obs: wrec})
+					Canon: func(ctx context.Context, g *graph.Graph, ws *engine.Workspace, wrec *obs.Recorder) (string, error) {
+						t, err := core.BuildCtx(ctx, g, nil, core.Options{Obs: wrec, Workspace: ws})
 						if err != nil {
 							return "", err
 						}
@@ -399,8 +497,18 @@ func runScenario(sp spec, quick bool, reps int, profileDir string, logf func(str
 	if len(dropped) > 0 {
 		logf("perfbench: %s: dropped non-deterministic counters: %s", sp.name, strings.Join(dropped, ", "))
 	}
+	if sp.finish != nil {
+		if err := sp.finish(&sc); err != nil {
+			return Scenario{}, err
+		}
+	}
 	logf("perfbench: %-14s median %8.1fms  allocs %9d  search_nodes %d",
 		sp.name, float64(sc.MedianWallNs)/1e6, sc.Allocs, sc.Counters["search_nodes"])
+	if sc.ParWorkers > 0 {
+		logf("perfbench: %-14s speedup %.2fx at %d workers (serial %.1fms, parallel %.1fms)",
+			sp.name, sc.ParSpeedup, sc.ParWorkers,
+			float64(sc.ParSerialNs)/1e6, float64(sc.ParParallelNs)/1e6)
+	}
 	return sc, nil
 }
 

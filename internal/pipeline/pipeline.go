@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"time"
 
+	"dvicl/internal/engine"
 	"dvicl/internal/graph"
 	"dvicl/internal/obs"
 )
@@ -58,11 +59,15 @@ type Config struct {
 	Decode func(raw string) (*graph.Graph, error)
 	// Canon builds the canonical certificate of a decoded graph under
 	// ctx, reporting effort into rec (a per-worker recorder; may be nil
-	// when Obs is nil). A non-nil error is *fatal* — unlike a Decode
-	// error, it aborts the run, because the only errors a build can
-	// produce are cancellation and budget exhaustion, which apply to the
-	// run as a whole. Required.
-	Canon func(ctx context.Context, g *graph.Graph, rec *obs.Recorder) (string, error)
+	// when Obs is nil). ws is the worker's checked-out engine workspace:
+	// the pipeline holds one per worker for the whole run, so callers
+	// that thread it into the build (core.Options.Workspace) pay the
+	// workspace-pool round-trip once per worker instead of once per
+	// record. A non-nil error is *fatal* — unlike a Decode error, it
+	// aborts the run, because the only errors a build can produce are
+	// cancellation and budget exhaustion, which apply to the run as a
+	// whole. Required.
+	Canon func(ctx context.Context, g *graph.Graph, ws *engine.Workspace, rec *obs.Recorder) (string, error)
 	// Apply consumes one certificate. Called from the Run goroutine only,
 	// in exactly input order (seq 0, 1, 2, … with decode failures
 	// skipped). A non-nil error aborts the run. Required.
@@ -199,12 +204,16 @@ func Run(cfg Config, src Source) (*Report, error) {
 		workerRecs[w] = rec
 		go func(w int, rec *obs.Recorder) {
 			defer func() { done <- w }()
+			// One workspace per worker for the whole run (sized lazily by
+			// each build), not one pool round-trip per record.
+			ws := engine.GetWorkspace(0)
+			defer engine.PutWorkspace(ws)
 			for r := range feed {
 				g, err := cfg.Decode(r.raw)
 				res := result{seq: r.seq, line: r.line}
 				if err != nil {
 					res.err = err
-				} else if cert, cerr := cfg.Canon(ctx, g, rec); cerr != nil {
+				} else if cert, cerr := cfg.Canon(ctx, g, ws, rec); cerr != nil {
 					res.fatal = cerr
 				} else {
 					res.cert = cert

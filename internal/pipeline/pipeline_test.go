@@ -44,8 +44,8 @@ func testStream(t *testing.T, k, classes int) (string, []*graph.Graph) {
 	return sb.String(), gs
 }
 
-func canonFn(ctx context.Context, g *graph.Graph, rec *obs.Recorder) (string, error) {
-	t, err := core.BuildCtx(ctx, g, nil, core.Options{Obs: rec})
+func canonFn(ctx context.Context, g *graph.Graph, ws *engine.Workspace, rec *obs.Recorder) (string, error) {
+	t, err := core.BuildCtx(ctx, g, nil, core.Options{Obs: rec, Workspace: ws})
 	if err != nil {
 		return "", err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"dvicl/internal/core"
 	"dvicl/internal/engine"
+	"dvicl/internal/graph"
 	"dvicl/internal/obs"
 )
 
@@ -26,11 +27,10 @@ func (ix *Index) leafOrbitSM(ctl *engine.Ctl, nd *core.Node, pattern []int, limi
 	}
 	sort.Ints(local)
 
-	// The query graph: the leaf-induced subgraph on the pattern, with the
-	// global colors as matching constraints.
-	q, orig := leafG.InducedSubgraph(local)
-	qColors := make([]int, q.N())
-	for i, l := range orig {
+	// The query graph's matching constraints: global colors, projected
+	// onto the pattern (local ascending order) and onto the whole leaf.
+	qColors := make([]int, len(local))
+	for i, l := range local {
 		qColors[i] = colors[nd.Verts[l]]
 	}
 	leafColors := make([]int, leafG.N())
@@ -49,7 +49,7 @@ func (ix *Index) leafOrbitSM(ctl *engine.Ctl, nd *core.Node, pattern []int, limi
 	seen := map[string]bool{}
 	var out [][]int
 	var candidates, pruned int64
-	for _, emb := range m.FindInduced(q, qColors, 0) {
+	for _, emb := range ix.findInducedArena(m, leafG, local, qColors) {
 		if err := ctl.Poll(); err != nil {
 			return nil, err
 		}
@@ -84,6 +84,32 @@ func (ix *Index) leafOrbitSM(ctl *engine.Ctl, nd *core.Node, pattern []int, limi
 	ix.rec.Add(obs.SSMLeafPruned, pruned)
 	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
 	return out, nil
+}
+
+// findInducedArena runs m.FindInduced on the subgraph of leafG induced
+// by local (ascending), building the query CSR in the Index workspace's
+// arena instead of fresh heap arrays. FindInduced copies every embedding
+// it returns, so the arena frame is released before returning and the
+// query graph never escapes.
+func (ix *Index) findInducedArena(m *Matcher, leafG *graph.Graph, local, qColors []int) [][]int {
+	ws := ix.workspace(leafG.N())
+	a := &ws.Arena
+	mark := a.Mark()
+	defer a.Release(mark)
+	verts := a.Alloc(len(local))
+	idx := ws.LocalIdx
+	for i, l := range local {
+		verts[i] = int32(l)
+		idx[l] = int32(i) + 1
+	}
+	offsets := a.Alloc(len(local) + 1)
+	adj := a.Alloc(leafG.InduceOffsets(verts, idx, offsets))
+	leafG.InduceAdj(verts, idx, adj)
+	for _, l := range local {
+		idx[l] = 0
+	}
+	q := graph.FromCSR(offsets, adj)
+	return m.FindInduced(&q, qColors, 0)
 }
 
 func intsKey(xs []int) string {

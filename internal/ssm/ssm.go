@@ -35,6 +35,21 @@ type Index struct {
 	// rec, when non-nil, receives query counts, per-query wall time and
 	// the leaf candidate/pruned counters.
 	rec *obs.Recorder
+	// ws backs per-query piece induction (arena CSR views) and the leaf
+	// pattern-certificate refinements. An Index serves one query at a
+	// time (the nodeInfo cache is unsynchronized), so one Index-owned
+	// workspace suffices; it is created on first leaf use and grown to
+	// the largest leaf seen.
+	ws *engine.Workspace
+}
+
+// workspace returns the Index workspace grown for an n-vertex leaf.
+func (ix *Index) workspace(n int) *engine.Workspace {
+	if ix.ws == nil {
+		ix.ws = new(engine.Workspace)
+	}
+	ix.ws.Grow(n)
+	return ix.ws
 }
 
 // SetRecorder attaches an observability recorder: every subsequent query
@@ -631,7 +646,7 @@ func (ix *Index) leafPatternCert(ctl *engine.Ctl, nd *core.Node, pattern []int) 
 	if err != nil {
 		return nil, engine.Internalf("ssm.leafPatternCert", "bad leaf pattern cells: %v", err)
 	}
-	res, err := canon.CanonicalCtl(ctl, nil, nd.LeafGraph(), pi, canon.Options{})
+	res, err := canon.CanonicalCtl(ctl, ix.workspace(len(nd.Verts)), nd.LeafGraph(), pi, canon.Options{})
 	if err != nil {
 		return nil, err
 	}
